@@ -1,0 +1,20 @@
+//! # veris-alloc — the concurrent memory allocator case study (§4.2.4)
+//!
+//! A mimalloc-design allocator: 4MiB segments of 64KiB pages, per-page
+//! sharded free lists, thread-local heaps, and a lock-free atomic list for
+//! cross-thread deallocations.
+//!
+//! - [`os`] — the simulated OS reservation API (the trusted `mmap` spec);
+//! - [`heap`] — segments/pages/bins, `malloc`/`free`, the Treiber-stack
+//!   thread-free list;
+//! - [`model`] — `by(bit_vector)` address routing, `by(nonlinear_arith)`
+//!   size-class disjointness, the non-aliasing functional spec, and a
+//!   VerusSync machine showing deposit-freshness *is* double-free
+//!   protection.
+
+pub mod heap;
+pub mod model;
+pub mod os;
+
+pub use heap::{size_class, AllocCtx, Heap, MAX_SMALL};
+pub use os::{page_of, OsMem, PAGE_SIZE, SEGMENT_SIZE};

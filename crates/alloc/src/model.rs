@@ -1,0 +1,205 @@
+//! Verification models for the allocator (paper §4.2.4):
+//!
+//! 1. address-arithmetic lemmas — block-to-page routing via masking,
+//!    discharged `by(bit_vector)`, and size-class bucketing via
+//!    `by(nonlinear_arith)` (the paper reports 78/71 invocations of these);
+//! 2. the user-facing functional-correctness spec: `malloc` returns
+//!    non-aliased memory — modeled as a set of live blocks where
+//!    allocation inserts a fresh element;
+//! 3. a VerusSync machine for the atomic cross-thread free list: deposits
+//!    are set-sharded, so a double-free is a protocol violation (the
+//!    inherent freshness condition of `add`).
+
+use veris_sync::{StateMachine, TransitionBuilder};
+use veris_vir::expr::{call, forall, int, lit, var, ExprExt};
+use veris_vir::module::{Function, Krate, Mode, Module};
+use veris_vir::stmt::{Prover, Stmt};
+use veris_vir::ty::Ty;
+
+/// Layer 1: address arithmetic.
+pub fn address_krate() -> Krate {
+    let u64t = Ty::UInt(64);
+    let b = var("b", u64t.clone());
+    // Masking to the segment never exceeds the address:
+    // (b & !(4MiB-1)) <= b.
+    let seg_mask: i128 = !(4 * 1024 * 1024 - 1u64) as i128 & 0xFFFF_FFFF_FFFF_FFFF;
+    let mask_le = Function::new("segment_mask_le", Mode::Proof)
+        .param("b", u64t.clone())
+        .stmts(vec![Stmt::assert_by(
+            b.bit_and(lit(seg_mask, u64t.clone())).le(b.clone()),
+            Prover::BitVector,
+        )]);
+    // The in-segment offset is below the segment size.
+    let off_bound = Function::new("segment_offset_bounded", Mode::Proof)
+        .param("b", u64t.clone())
+        .stmts(vec![Stmt::assert_by(
+            b.sub(b.bit_and(lit(seg_mask, u64t.clone())))
+                .lt(lit(4 * 1024 * 1024, u64t.clone())),
+            Prover::BitVector,
+        )]);
+    // Size-class bucketing: blocks of class c starting at distinct indices
+    // within a page do not overlap: i != j => i*c + c <= j*c or j*c + c <= i*c.
+    let i = var("i", Ty::Int);
+    let j = var("j", Ty::Int);
+    let c = var("c", Ty::Int);
+    let blocks_disjoint = Function::new("blocks_within_page_disjoint", Mode::Proof)
+        .param("i", Ty::Int)
+        .param("j", Ty::Int)
+        .param("c", Ty::Int)
+        .requires(c.ge(int(1)))
+        .requires(i.ge(int(0)))
+        .requires(j.ge(int(0)))
+        .requires(i.lt(j.clone()))
+        .stmts(vec![Stmt::assert_by(
+            c.ge(int(1))
+                .and(i.ge(int(0)))
+                .and(i.lt(j.clone()))
+                .implies(i.mul(c.clone()).add(c.clone()).le(j.mul(c.clone()))),
+            Prover::NonlinearArith,
+        )]);
+    Krate::new().module(
+        Module::new("alloc_addr")
+            .func(mask_le)
+            .func(off_bound)
+            .func(blocks_disjoint),
+    )
+}
+
+/// Layer 2: the user-facing spec — allocation returns non-aliased memory.
+pub fn spec_krate() -> Krate {
+    let live = var("live", Ty::set(Ty::Int));
+    let b = var("b", Ty::Int);
+    let r = var("r", Ty::set(Ty::Int));
+    // malloc: given a fresh block (found by the allocator), the live set
+    // grows and everything previously live stays distinct from it.
+    let malloc_spec = Function::new("malloc_spec", Mode::Exec)
+        .param("live", Ty::set(Ty::Int))
+        .param("b", Ty::Int)
+        .returns("r", Ty::set(Ty::Int))
+        .requires(live.set_mem(b.clone()).not())
+        .ensures(r.set_mem(b.clone()))
+        .ensures(forall(
+            vec![("o", Ty::Int)],
+            live.set_mem(var("o", Ty::Int)).implies(
+                r.set_mem(var("o", Ty::Int))
+                    .and(var("o", Ty::Int).ne_e(b.clone())),
+            ),
+            "malloc_no_alias",
+        ))
+        .stmts(vec![Stmt::ret(live.set_add(b.clone()))]);
+    let free_spec = Function::new("free_spec", Mode::Exec)
+        .param("live", Ty::set(Ty::Int))
+        .param("b", Ty::Int)
+        .returns("r", Ty::set(Ty::Int))
+        .requires(live.set_mem(b.clone()))
+        .ensures(r.set_mem(b.clone()).not())
+        .ensures(forall(
+            vec![("o", Ty::Int)],
+            var("o", Ty::Int).ne_e(b.clone()).implies(
+                r.set_mem(var("o", Ty::Int))
+                    .iff(live.set_mem(var("o", Ty::Int))),
+            ),
+            "free_frame",
+        ))
+        .stmts(vec![Stmt::ret(live.set_remove(b.clone()))]);
+    // Client-visible theorem: two mallocs give different blocks.
+    let b2 = var("b2", Ty::Int);
+    let two_mallocs = Function::new("two_mallocs_distinct", Mode::Proof)
+        .param("live", Ty::set(Ty::Int))
+        .param("b", Ty::Int)
+        .param("b2", Ty::Int)
+        .requires(live.set_mem(b.clone()).not())
+        .requires(live.set_add(b.clone()).set_mem(b2.clone()).not())
+        .stmts(vec![
+            Stmt::Call {
+                func: "malloc_spec".into(),
+                args: vec![live.clone(), b.clone()],
+                dest: Some(("l2".into(), Ty::set(Ty::Int))),
+            },
+            Stmt::assert(b.ne_e(b2.clone())),
+        ]);
+    let _ = call("malloc_spec", vec![], Ty::Bool);
+    Krate::new().module(
+        Module::new("alloc_spec")
+            .func(malloc_spec)
+            .func(free_spec)
+            .func(two_mallocs),
+    )
+}
+
+/// Layer 3: the atomic cross-thread free list as a VerusSync machine.
+/// Deposits are set-sharded block addresses: depositing twice (a
+/// double-free) violates `add`'s inherent freshness condition, and the
+/// owner's wholesale collect drains the set.
+pub fn thread_free_machine() -> StateMachine {
+    StateMachine::new("ThreadFreeList")
+        .map_field("pending", Ty::Int, Ty::Bool)
+        .transition(TransitionBuilder::init("initialize").build())
+        .transition(
+            TransitionBuilder::transition("deposit")
+                .param("block", Ty::Int)
+                .add("pending", var("block", Ty::Int), veris_vir::expr::tru())
+                .build(),
+        )
+        .transition(
+            TransitionBuilder::transition("collect_one")
+                .param("block", Ty::Int)
+                .remove("pending", var("block", Ty::Int))
+                .build(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_idioms::config_with_provers;
+    use veris_sync::verify_machine_default;
+    use veris_vc::verify_krate;
+
+    #[test]
+    fn address_lemmas_verify() {
+        let k = address_krate();
+        let rep = verify_krate(&k, &config_with_provers(), 1);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+    }
+
+    #[test]
+    fn malloc_spec_verifies() {
+        let k = spec_krate();
+        let rep = verify_krate(&k, &config_with_provers(), 1);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+    }
+
+    #[test]
+    fn thread_free_machine_has_double_free_protection() {
+        let sm = thread_free_machine();
+        // The deposit transition alone cannot verify: the freshness
+        // obligation of `add` is exactly double-free protection, and it
+        // cannot be established without a `require` — so the raw machine
+        // must FAIL, and the corrected machine (with the require) passes.
+        let rep = verify_machine_default(&sm);
+        assert!(!rep.all_verified(), "blind deposit must be rejected");
+        let fixed = StateMachine::new("ThreadFreeListFixed")
+            .map_field("pending", Ty::Int, Ty::Bool)
+            .transition(TransitionBuilder::init("initialize").build())
+            .transition(
+                TransitionBuilder::transition("deposit")
+                    .param("block", Ty::Int)
+                    .require(
+                        var("pending", Ty::map(Ty::Int, Ty::Bool))
+                            .map_contains(var("block", Ty::Int))
+                            .not(),
+                    )
+                    .add("pending", var("block", Ty::Int), veris_vir::expr::tru())
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::transition("collect_one")
+                    .param("block", Ty::Int)
+                    .remove("pending", var("block", Ty::Int))
+                    .build(),
+            );
+        let rep = verify_machine_default(&fixed);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+    }
+}

@@ -1,0 +1,86 @@
+//! The simulated OS memory interface (paper §4.2.4's trusted `mmap` spec).
+//!
+//! The allocator bridges a coarse, page-aligned reservation API to
+//! arbitrary-sized `malloc`/`free`. Here the "OS" hands out 4MiB-aligned
+//! logical segments from a growing address space and tracks reservations —
+//! the accounting the paper does with ghost memory permissions. Addresses
+//! are logical (`u64`); what verification (and the tests) care about is
+//! the *non-aliasing accounting*, not the backing bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Segment size: 4MiB, as in mimalloc.
+pub const SEGMENT_SIZE: u64 = 4 * 1024 * 1024;
+/// Page size within a segment: 64KiB.
+pub const PAGE_SIZE: u64 = 64 * 1024;
+pub const PAGES_PER_SEGMENT: u64 = SEGMENT_SIZE / PAGE_SIZE;
+
+/// The OS address-space allocator (one per process).
+#[derive(Debug)]
+pub struct OsMem {
+    next: AtomicU64,
+    reserved: AtomicU64,
+}
+
+impl Default for OsMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OsMem {
+    pub fn new() -> OsMem {
+        OsMem {
+            // Segments start above a guard region, segment-aligned.
+            next: AtomicU64::new(SEGMENT_SIZE),
+            reserved: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserve one segment (the `mmap` analogue). The returned base is
+    /// SEGMENT_SIZE-aligned — the property the paper's block-to-page
+    /// address arithmetic depends on.
+    pub fn reserve_segment(&self) -> u64 {
+        self.reserved.fetch_add(SEGMENT_SIZE, Ordering::Relaxed);
+        self.next.fetch_add(SEGMENT_SIZE, Ordering::Relaxed)
+    }
+
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved.load(Ordering::Relaxed)
+    }
+}
+
+/// The page a block address belongs to — pure address arithmetic (mask to
+/// the segment, divide the offset): the bit-manipulation the model proves.
+pub fn page_of(block: u64) -> u64 {
+    let segment = block & !(SEGMENT_SIZE - 1);
+    let offset = block - segment;
+    segment + (offset / PAGE_SIZE) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_aligned_and_disjoint() {
+        let os = OsMem::new();
+        let a = os.reserve_segment();
+        let b = os.reserve_segment();
+        assert_eq!(a % SEGMENT_SIZE, 0);
+        assert_eq!(b % SEGMENT_SIZE, 0);
+        assert!(b >= a + SEGMENT_SIZE);
+        assert_eq!(os.reserved_bytes(), 2 * SEGMENT_SIZE);
+    }
+
+    #[test]
+    fn page_of_is_stable_within_page() {
+        let os = OsMem::new();
+        let seg = os.reserve_segment();
+        let base = seg + 3 * PAGE_SIZE;
+        for off in [0u64, 1, 100, PAGE_SIZE - 1] {
+            assert_eq!(page_of(base + off), base);
+        }
+        assert_eq!(page_of(base + PAGE_SIZE), base + PAGE_SIZE);
+    }
+}

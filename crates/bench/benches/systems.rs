@@ -1,0 +1,60 @@
+//! Criterion benches over the executable case-study systems: page-table
+//! map/unmap, allocator malloc/free, log append, and NR operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pagetable(c: &mut Criterion) {
+    c.bench_function("pagetable_map_unmap", |b| {
+        let mut pt = veris_pagetable::PageTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let va = (i % 100_000 + 1) << 12;
+            pt.map(va, va, true, false);
+            pt.unmap(va);
+        })
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    use std::sync::Arc;
+    c.bench_function("alloc_malloc_free_64B", |b| {
+        let ctx = Arc::new(veris_alloc::AllocCtx::new());
+        let mut h = veris_alloc::Heap::new(ctx);
+        b.iter(|| {
+            let blk = h.malloc(64);
+            h.free(blk);
+        })
+    });
+}
+
+fn bench_plog(c: &mut Criterion) {
+    c.bench_function("plog_append_1k", |b| {
+        let mut log = veris_plog::PLog::format(veris_plog::PMem::new(64 * 1024 * 1024));
+        let payload = vec![7u8; 1024];
+        b.iter(|| {
+            if log.append(&payload).is_err() {
+                let tail = log.tail();
+                log.advance_head(tail).expect("reset");
+                log.append(&payload).expect("space after reset");
+            }
+        })
+    });
+}
+
+fn bench_nr(c: &mut Criterion) {
+    use veris_nr::{KvRead, KvWrite, NodeReplicated};
+    c.bench_function("nr_write_read", |b| {
+        let nr: NodeReplicated<veris_nr::KvMap> = NodeReplicated::new(2, 4);
+        let t = nr.register();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            nr.execute_write(t, KvWrite::Put(i % 128, i));
+            nr.execute_read(t, &KvRead::Get(i % 128));
+        })
+    });
+}
+
+criterion_group!(benches, bench_pagetable, bench_alloc, bench_plog, bench_nr);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches over the verification pipeline: Figure 7a's
+//! single-list verification per encoding style, and the solver's raw
+//! throughput on a representative query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veris_vc::{verify_function, Style};
+
+fn bench_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_single_list");
+    g.sample_size(10);
+    for style in [Style::Verus, Style::CreusotLike, Style::DafnyLike] {
+        let krate = veris_collections::model::singly_list_krate();
+        let mut cfg = veris_idioms::config_with_provers();
+        cfg.style = style;
+        g.bench_function(style.name(), |b| {
+            b.iter(|| {
+                let r = verify_function(&krate, "push_head", &cfg);
+                assert!(r.status.is_verified());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    use veris_smt::solver::{Config, SmtResult, Solver};
+    c.bench_function("smt_euf_lia_unsat", |b| {
+        b.iter(|| {
+            let mut s = Solver::new(Config::default());
+            let int = s.store.int_sort();
+            let f = s.store.declare_fun("f", vec![int], int);
+            let x = s.store.mk_var("x", int);
+            let y = s.store.mk_var("y", int);
+            let fx = s.store.mk_app(f, vec![x]);
+            let fy = s.store.mk_app(f, vec![y]);
+            let eq = s.store.mk_eq(x, y);
+            let d = s.store.mk_sub(fx, fy);
+            let one = s.store.mk_int(1);
+            let ge = s.store.mk_ge(d, one);
+            s.assert(eq);
+            s.assert(ge);
+            assert!(matches!(s.check(), SmtResult::Unsat));
+        })
+    });
+}
+
+criterion_group!(benches, bench_styles, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,404 @@
+//! Figure 13: the allocator benchmark suite — workload-equivalent drivers
+//! for the mimalloc-bench programs the paper's port supports, run against
+//! our mimalloc-design allocator and a global-mutex baseline (standing in
+//! for the comparison allocator).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use veris_alloc::{size_class, AllocCtx, Heap};
+
+/// A minimal global-lock allocator: the "simple but slow" comparison point.
+struct MutexAlloc {
+    inner: parking_lot::Mutex<MutexAllocInner>,
+}
+
+struct MutexAllocInner {
+    next: u64,
+    free: std::collections::HashMap<u64, Vec<u64>>,
+}
+
+impl MutexAlloc {
+    fn new() -> MutexAlloc {
+        MutexAlloc {
+            inner: parking_lot::Mutex::new(MutexAllocInner {
+                next: 1 << 20,
+                free: std::collections::HashMap::new(),
+            }),
+        }
+    }
+
+    fn malloc(&self, size: u64) -> u64 {
+        let class = size_class(size);
+        let mut g = self.inner.lock();
+        if let Some(list) = g.free.get_mut(&class) {
+            if let Some(b) = list.pop() {
+                return b;
+            }
+        }
+        let b = g.next;
+        g.next += class;
+        b
+    }
+
+    fn free(&self, block: u64, size: u64) {
+        let class = size_class(size);
+        self.inner.lock().free.entry(class).or_default().push(block);
+    }
+}
+
+/// One suite entry: name + (ours, baseline) runtimes.
+pub struct SuiteResult {
+    pub name: &'static str,
+    pub ours: Duration,
+    pub baseline: Duration,
+}
+
+fn time<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// cfrac-like: single-threaded, many small short-lived allocations.
+fn cfrac(ours: bool) -> Duration {
+    let n = 200_000;
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        let mut h = Heap::new(ctx);
+        time(|| {
+            let mut live = Vec::with_capacity(64);
+            for i in 0..n {
+                live.push((h.malloc(8 + (i % 48) as u64), 8 + (i % 48) as u64));
+                if live.len() > 48 {
+                    let (b, _) = live.swap_remove(i % live.len());
+                    h.free(b);
+                }
+            }
+        })
+    } else {
+        let a = MutexAlloc::new();
+        time(|| {
+            let mut live = Vec::with_capacity(64);
+            for i in 0..n {
+                let s = 8 + (i % 48) as u64;
+                live.push((a.malloc(s), s));
+                if live.len() > 48 {
+                    let (b, s) = live.swap_remove(i % live.len());
+                    a.free(b, s);
+                }
+            }
+        })
+    }
+}
+
+/// larson-like: threads allocate and hand blocks to other threads to free.
+fn larson(ours: bool) -> Duration {
+    let threads = 4;
+    let per = 30_000;
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        time(|| {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..threads)
+                .map(|_| crossbeam::channel::unbounded::<u64>())
+                .unzip();
+            crossbeam::thread::scope(|s| {
+                for t in 0..threads {
+                    let ctx = Arc::clone(&ctx);
+                    let tx = txs[(t + 1) % threads].clone();
+                    let rx = rxs[t].clone();
+                    s.spawn(move |_| {
+                        let mut h = Heap::new(ctx);
+                        for i in 0..per {
+                            let b = h.malloc(16 + (i % 64) as u64);
+                            let _ = tx.send(b);
+                            if let Ok(other) = rx.try_recv() {
+                                h.free(other); // cross-thread free
+                            }
+                        }
+                        drop(tx);
+                        while let Ok(other) = rx.try_recv() {
+                            h.free(other);
+                        }
+                    });
+                }
+                drop(txs);
+            })
+            .unwrap();
+        })
+    } else {
+        let a = Arc::new(MutexAlloc::new());
+        time(|| {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..threads)
+                .map(|_| crossbeam::channel::unbounded::<u64>())
+                .unzip();
+            crossbeam::thread::scope(|s| {
+                for t in 0..threads {
+                    let a = Arc::clone(&a);
+                    let tx = txs[(t + 1) % threads].clone();
+                    let rx = rxs[t].clone();
+                    s.spawn(move |_| {
+                        for i in 0..per {
+                            let sz = 16 + (i % 64) as u64;
+                            let b = a.malloc(sz);
+                            let _ = tx.send(b);
+                            if let Ok(other) = rx.try_recv() {
+                                a.free(other, sz);
+                            }
+                        }
+                        drop(tx);
+                        while let Ok(other) = rx.try_recv() {
+                            a.free(other, 16);
+                        }
+                    });
+                }
+                drop(txs);
+            })
+            .unwrap();
+        })
+    }
+}
+
+/// sh6bench-like: batched alloc, batched free, repeated.
+fn sh6bench(ours: bool) -> Duration {
+    let rounds = 300;
+    let batch = 500;
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        let mut h = Heap::new(ctx);
+        time(|| {
+            for r in 0..rounds {
+                let blocks: Vec<u64> = (0..batch)
+                    .map(|i| h.malloc(8 + ((r + i) % 128) as u64))
+                    .collect();
+                for b in blocks {
+                    h.free(b);
+                }
+            }
+        })
+    } else {
+        let a = MutexAlloc::new();
+        time(|| {
+            for r in 0..rounds {
+                let blocks: Vec<(u64, u64)> = (0..batch)
+                    .map(|i| {
+                        let s = 8 + ((r + i) % 128) as u64;
+                        (a.malloc(s), s)
+                    })
+                    .collect();
+                for (b, s) in blocks {
+                    a.free(b, s);
+                }
+            }
+        })
+    }
+}
+
+/// xmalloc-test-like: dedicated producers allocate, consumers free.
+fn xmalloc(ours: bool) -> Duration {
+    let pairs = 2;
+    let per = 40_000;
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..pairs {
+                    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+                    let pctx = Arc::clone(&ctx);
+                    s.spawn(move |_| {
+                        let mut h = Heap::new(pctx);
+                        for i in 0..per {
+                            let _ = tx.send(h.malloc(32 + (i % 32) as u64));
+                        }
+                    });
+                    let cctx = Arc::clone(&ctx);
+                    s.spawn(move |_| {
+                        let mut h = Heap::new(cctx);
+                        while let Ok(b) = rx.recv() {
+                            h.free(b); // always cross-thread
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    } else {
+        let a = Arc::new(MutexAlloc::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..pairs {
+                    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+                    let pa = Arc::clone(&a);
+                    s.spawn(move |_| {
+                        for i in 0..per {
+                            let _ = tx.send(pa.malloc(32 + (i % 32) as u64));
+                        }
+                    });
+                    let ca = Arc::clone(&a);
+                    s.spawn(move |_| {
+                        while let Ok(b) = rx.recv() {
+                            ca.free(b, 32);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    }
+}
+
+/// cache-scratch-like: threads churn entirely private allocations.
+fn cache_scratch(ours: bool, threads: usize) -> Duration {
+    let per = 60_000;
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads {
+                    let ctx = Arc::clone(&ctx);
+                    s.spawn(move |_| {
+                        let mut h = Heap::new(ctx);
+                        for i in 0..per {
+                            let b = h.malloc(64);
+                            if i % 2 == 0 {
+                                h.free(b);
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    } else {
+        let a = Arc::new(MutexAlloc::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads {
+                    let a = Arc::clone(&a);
+                    s.spawn(move |_| {
+                        for i in 0..per {
+                            let b = a.malloc(64);
+                            if i % 2 == 0 {
+                                a.free(b, 64);
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    }
+}
+
+/// glibc-simple/thread-like: steady-state mixed sizes.
+fn glibc_sim(ours: bool, threads: usize) -> Duration {
+    const PER: usize = 50_000;
+    const SIZES: [u64; 5] = [16, 32, 64, 128, 512];
+    if ours {
+        let ctx = Arc::new(AllocCtx::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads {
+                    let ctx = Arc::clone(&ctx);
+                    s.spawn(move |_| {
+                        let mut h = Heap::new(ctx);
+                        let mut live: Vec<u64> = Vec::new();
+                        for i in 0..PER {
+                            live.push(h.malloc(SIZES[i % 5]));
+                            if live.len() > 100 {
+                                let b = live.remove(0);
+                                h.free(b);
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    } else {
+        let a = Arc::new(MutexAlloc::new());
+        time(|| {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads {
+                    let a = Arc::clone(&a);
+                    s.spawn(move |_| {
+                        let mut live: Vec<(u64, u64)> = Vec::new();
+                        for i in 0..PER {
+                            let sz = SIZES[i % 5];
+                            live.push((a.malloc(sz), sz));
+                            if live.len() > 100 {
+                                let (b, sz) = live.remove(0);
+                                a.free(b, sz);
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    }
+}
+
+/// Run the whole suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 13: allocator benchmark suite (seconds)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>12}",
+        "Benchmark", "veris-alloc", "mutex-base"
+    );
+    let entries: Vec<SuiteResult> = vec![
+        SuiteResult {
+            name: "cfrac",
+            ours: cfrac(true),
+            baseline: cfrac(false),
+        },
+        SuiteResult {
+            name: "larsonN-sized",
+            ours: larson(true),
+            baseline: larson(false),
+        },
+        SuiteResult {
+            name: "sh6benchN",
+            ours: sh6bench(true),
+            baseline: sh6bench(false),
+        },
+        SuiteResult {
+            name: "xmalloc-testN",
+            ours: xmalloc(true),
+            baseline: xmalloc(false),
+        },
+        SuiteResult {
+            name: "cache-scratch1",
+            ours: cache_scratch(true, 1),
+            baseline: cache_scratch(false, 1),
+        },
+        SuiteResult {
+            name: "cache-scratchN",
+            ours: cache_scratch(true, 4),
+            baseline: cache_scratch(false, 4),
+        },
+        SuiteResult {
+            name: "glibc-simple",
+            ours: glibc_sim(true, 1),
+            baseline: glibc_sim(false, 1),
+        },
+        SuiteResult {
+            name: "glibc-thread",
+            ours: glibc_sim(true, 4),
+            baseline: glibc_sim(false, 4),
+        },
+    ];
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.3} {:>12.3}",
+            e.name,
+            e.ours.as_secs_f64(),
+            e.baseline.as_secs_f64()
+        );
+    }
+    out
+}

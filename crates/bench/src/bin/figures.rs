@@ -1,0 +1,37 @@
+//! Regenerate any table/figure of the paper's evaluation:
+//!
+//! ```text
+//! cargo run --release -p veris-bench --bin figures -- fig7a
+//! cargo run --release -p veris-bench --bin figures -- all
+//! ```
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "help".into());
+    let figures: Vec<(&str, fn() -> String)> = vec![
+        ("fig7a", veris_bench::fig7a::run),
+        ("fig7b", veris_bench::fig7b::run),
+        ("fig8", veris_bench::fig8::run),
+        ("fig9", veris_bench::fig9::run),
+        ("fig10", veris_bench::fig10::run),
+        ("fig11", veris_bench::fig11::run),
+        ("fig12", veris_bench::fig12::run),
+        ("fig13", veris_bench::fig13::run),
+        ("fig14", veris_bench::fig14::run),
+        ("distlock", veris_bench::distlock::run),
+    ];
+    match which.as_str() {
+        "all" => {
+            for (name, f) in figures {
+                println!("==== {name} ====");
+                println!("{}", f());
+            }
+        }
+        other => match figures.iter().find(|(n, _)| *n == other) {
+            Some((_, f)) => println!("{}", f()),
+            None => {
+                eprintln!("usage: figures <fig7a|fig7b|fig8|fig9|fig10|fig11|fig12|fig13|fig14|distlock|all>");
+                std::process::exit(2);
+            }
+        },
+    }
+}

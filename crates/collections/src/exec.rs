@@ -1,0 +1,333 @@
+//! Executable linked lists — the implementations the millibenchmark models
+//! verify. The singly linked list pushes at the head and pops at the tail;
+//! the doubly linked list supports both ends (its cyclic pointers are
+//! modeled with arena indices, the safe-Rust idiom for what the paper's
+//! version does with `unsafe` raw pointers).
+
+/// Singly linked list: `push_head`, `pop_tail`, `index`, iteration.
+#[derive(Clone, Debug, Default)]
+pub struct SinglyLinkedList<T> {
+    head: Option<Box<Node<T>>>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    v: T,
+    next: Option<Box<Node<T>>>,
+}
+
+impl<T> SinglyLinkedList<T> {
+    pub fn new() -> SinglyLinkedList<T> {
+        SinglyLinkedList { head: None, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Push at the head (index 0).
+    pub fn push_head(&mut self, v: T) {
+        let head = self.head.take();
+        self.head = Some(Box::new(Node { v, next: head }));
+        self.len += 1;
+    }
+
+    /// Pop from the tail (the last element).
+    ///
+    /// # Panics
+    /// Panics if the list is empty (the verified model requires
+    /// `view().len() > 0`).
+    pub fn pop_tail(&mut self) -> T {
+        assert!(self.len > 0, "pop_tail on empty list");
+        self.len -= 1;
+        // Walk to the second-to-last node.
+        if self.head.as_ref().expect("nonempty").next.is_none() {
+            return self.head.take().expect("nonempty").v;
+        }
+        let mut cur = self.head.as_mut().expect("nonempty");
+        while cur.next.as_ref().expect("len>1").next.is_some() {
+            cur = cur.next.as_mut().expect("len>1");
+        }
+        cur.next.take().expect("last node").v
+    }
+
+    /// Read the element at `i` (0 = head).
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (the model requires `i < view().len()`).
+    pub fn index(&self, i: usize) -> &T {
+        let mut cur = self.head.as_ref().expect("index out of bounds");
+        for _ in 0..i {
+            cur = cur.next.as_ref().expect("index out of bounds");
+        }
+        &cur.v
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            cur: self.head.as_deref(),
+        }
+    }
+}
+
+/// Iterator over a singly linked list.
+pub struct Iter<'a, T> {
+    cur: Option<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let n = self.cur?;
+        self.cur = n.next.as_deref();
+        Some(&n.v)
+    }
+}
+
+/// Doubly linked list over an arena of nodes (index-based links — the safe
+/// equivalent of the cyclic raw pointers the paper's version needs `unsafe`
+/// for). Supports push/pop at both ends and iteration.
+#[derive(Clone, Debug, Default)]
+pub struct DoublyLinkedList<T> {
+    nodes: Vec<DNode<T>>,
+    free: Vec<usize>,
+    head: Option<usize>,
+    tail: Option<usize>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct DNode<T> {
+    v: Option<T>,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+impl<T> DoublyLinkedList<T> {
+    pub fn new() -> DoublyLinkedList<T> {
+        DoublyLinkedList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, v: T) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = DNode {
+                v: Some(v),
+                prev: None,
+                next: None,
+            };
+            i
+        } else {
+            self.nodes.push(DNode {
+                v: Some(v),
+                prev: None,
+                next: None,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    pub fn push_front(&mut self, v: T) {
+        let i = self.alloc(v);
+        self.nodes[i].next = self.head;
+        match self.head {
+            Some(h) => self.nodes[h].prev = Some(i),
+            None => self.tail = Some(i),
+        }
+        self.head = Some(i);
+        self.len += 1;
+    }
+
+    pub fn push_back(&mut self, v: T) {
+        let i = self.alloc(v);
+        self.nodes[i].prev = self.tail;
+        match self.tail {
+            Some(t) => self.nodes[t].next = Some(i),
+            None => self.head = Some(i),
+        }
+        self.tail = Some(i);
+        self.len += 1;
+    }
+
+    pub fn pop_front(&mut self) -> Option<T> {
+        let h = self.head?;
+        let next = self.nodes[h].next;
+        match next {
+            Some(n) => self.nodes[n].prev = None,
+            None => self.tail = None,
+        }
+        self.head = next;
+        self.free.push(h);
+        self.len -= 1;
+        self.nodes[h].v.take()
+    }
+
+    pub fn pop_back(&mut self) -> Option<T> {
+        let t = self.tail?;
+        let prev = self.nodes[t].prev;
+        match prev {
+            Some(p) => self.nodes[p].next = None,
+            None => self.head = None,
+        }
+        self.tail = prev;
+        self.free.push(t);
+        self.len -= 1;
+        self.nodes[t].v.take()
+    }
+
+    pub fn iter(&self) -> DIter<'_, T> {
+        DIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+/// Iterator over a doubly linked list.
+pub struct DIter<'a, T> {
+    list: &'a DoublyLinkedList<T>,
+    cur: Option<usize>,
+}
+
+impl<'a, T> Iterator for DIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let i = self.cur?;
+        self.cur = self.list.nodes[i].next;
+        self.list.nodes[i].v.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singly_push_pop() {
+        let mut l = SinglyLinkedList::new();
+        l.push_head(3);
+        l.push_head(2);
+        l.push_head(1);
+        assert_eq!(l.len(), 3);
+        assert_eq!(*l.index(0), 1);
+        assert_eq!(*l.index(2), 3);
+        // pop_tail removes the last (oldest) element.
+        assert_eq!(l.pop_tail(), 3);
+        assert_eq!(l.pop_tail(), 2);
+        assert_eq!(l.pop_tail(), 1);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn singly_iter() {
+        let mut l = SinglyLinkedList::new();
+        for i in (0..5).rev() {
+            l.push_head(i);
+        }
+        let v: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_tail on empty")]
+    fn singly_pop_empty_panics() {
+        let mut l: SinglyLinkedList<i32> = SinglyLinkedList::new();
+        l.pop_tail();
+    }
+
+    #[test]
+    fn doubly_both_ends() {
+        let mut l = DoublyLinkedList::new();
+        l.push_back(2);
+        l.push_front(1);
+        l.push_back(3);
+        assert_eq!(l.len(), 3);
+        let v: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(l.pop_front(), Some(1));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn doubly_reuses_slots() {
+        let mut l = DoublyLinkedList::new();
+        for i in 0..100 {
+            l.push_back(i);
+        }
+        for _ in 0..100 {
+            l.pop_front();
+        }
+        let cap = l.nodes.len();
+        for i in 0..100 {
+            l.push_front(i);
+        }
+        assert_eq!(l.nodes.len(), cap, "free list reuses arena slots");
+        assert_eq!(l.len(), 100);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn singly_matches_vec(ops in proptest::collection::vec(0..3u8, 0..60)) {
+            let mut l = SinglyLinkedList::new();
+            let mut v: Vec<u8> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 | 1 => {
+                        l.push_head(i as u8);
+                        v.insert(0, i as u8);
+                    }
+                    _ => {
+                        if !v.is_empty() {
+                            let got = l.pop_tail();
+                            let want = v.pop().unwrap();
+                            proptest::prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(l.len(), v.len());
+            }
+            let collected: Vec<u8> = l.iter().copied().collect();
+            proptest::prop_assert_eq!(collected, v);
+        }
+
+        #[test]
+        fn doubly_matches_vecdeque(ops in proptest::collection::vec(0..4u8, 0..80)) {
+            use std::collections::VecDeque;
+            let mut l = DoublyLinkedList::new();
+            let mut v: VecDeque<u8> = VecDeque::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => { l.push_front(i as u8); v.push_front(i as u8); }
+                    1 => { l.push_back(i as u8); v.push_back(i as u8); }
+                    2 => { proptest::prop_assert_eq!(l.pop_front(), v.pop_front()); }
+                    _ => { proptest::prop_assert_eq!(l.pop_back(), v.pop_back()); }
+                }
+            }
+            let collected: Vec<u8> = l.iter().copied().collect();
+            let want: Vec<u8> = v.iter().copied().collect();
+            proptest::prop_assert_eq!(collected, want);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # veris-collections — millibenchmark subjects (paper §4.1)
+//!
+//! - [`exec`] — executable singly/doubly linked lists (the code the models
+//!   verify);
+//! - [`model`] — VIR models: the Figure 2-style singly linked list with a
+//!   `Seq` view, the Figure 7b memory-reasoning workload generator, and
+//!   broken-proof variants for the Figure 8 time-to-error benchmark;
+//! - [`dlist_model`] — the doubly linked list model (map-of-nodes with a
+//!   ghost order sequence — the shape the paper verifies with unsafe
+//!   pointers);
+//! - [`distlock`] — the distributed-lock protocol in default mode and EPR
+//!   mode.
+
+pub mod distlock;
+pub mod dlist_model;
+pub mod exec;
+pub mod model;
+
+pub use exec::{DoublyLinkedList, SinglyLinkedList};

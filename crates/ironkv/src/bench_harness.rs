@@ -1,0 +1,177 @@
+//! The IronKV performance harness (paper Figure 10): launch server hosts,
+//! drive them with client threads issuing Get/Set at a fixed payload size,
+//! and report throughput.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::host::{Host, Msg};
+use crate::marshal::Marshallable;
+use crate::net::Network;
+
+/// Workload kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    Get,
+    Set,
+}
+
+/// Harness configuration (defaults mirror the paper: 3 servers, 10 client
+/// threads, 10k keys).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    pub servers: usize,
+    pub client_threads: usize,
+    pub keys: u64,
+    pub payload: usize,
+    pub duration: Duration,
+    pub workload: Workload,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            servers: 3,
+            client_threads: 10,
+            keys: 10_000,
+            payload: 128,
+            duration: Duration::from_millis(300),
+            workload: Workload::Get,
+        }
+    }
+}
+
+/// Result: completed operations and elapsed time.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchResult {
+    pub ops: u64,
+    pub elapsed: Duration,
+}
+
+impl BenchResult {
+    pub fn kops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1000.0
+    }
+}
+
+/// Run the Figure 10 workload.
+pub fn run(cfg: &BenchConfig) -> BenchResult {
+    let net = Network::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    // Server addresses are 1000 + i; each owns an equal slice of key space.
+    let server_addrs: Vec<u64> = (0..cfg.servers).map(|i| 1000 + i as u64).collect();
+    let slice = cfg.keys / cfg.servers as u64 + 1;
+    let mut server_handles = Vec::new();
+    for (i, &addr) in server_addrs.iter().enumerate() {
+        let ep = net.bind(addr);
+        let stop = Arc::clone(&stop);
+        let mut host = Host::new(addr, ep, addr);
+        // Give this server its shard (everyone starts owning everything at
+        // their own address; the delegation map in each host points keys at
+        // the right peer).
+        for (j, &peer) in server_addrs.iter().enumerate() {
+            let lo = j as u64 * slice;
+            let hi = ((j + 1) as u64 * slice).saturating_sub(1);
+            if j != i {
+                // Keys in peer's slice are delegated away.
+                host_delegation_set(&mut host, lo, hi, peer);
+            }
+        }
+        server_handles.push(std::thread::spawn(move || {
+            host.run_until(|| stop.load(Ordering::Relaxed));
+        }));
+    }
+    // Clients.
+    let t0 = Instant::now();
+    let mut client_handles = Vec::new();
+    for c in 0..cfg.client_threads {
+        let ep = net.bind(1 + c as u64);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let cfg = cfg.clone();
+        let server_addrs = server_addrs.clone();
+        client_handles.push(std::thread::spawn(move || {
+            let payload = vec![0xabu8; cfg.payload];
+            let mut seq = 1u64;
+            let mut rng: u64 = 0x9e3779b97f4a7c15 ^ (c as u64);
+            while !stop.load(Ordering::Relaxed) {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let key = rng % cfg.keys;
+                let server = server_addrs[(key / slice) as usize % server_addrs.len()];
+                let msg = match cfg.workload {
+                    Workload::Get => Msg::Get { seq, key },
+                    Workload::Set => Msg::Set {
+                        seq,
+                        key,
+                        value: payload.clone(),
+                    },
+                };
+                if !ep.send(server, msg.to_bytes()) {
+                    continue;
+                }
+                // Wait for the reply (synchronous closed-loop client).
+                match ep.recv_timeout(Duration::from_millis(100)) {
+                    Some(pkt) => {
+                        if Msg::from_bytes(&pkt.payload).is_some() {
+                            ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => continue,
+                }
+                seq += 1;
+            }
+        }));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in client_handles {
+        let _ = h.join();
+    }
+    let elapsed = t0.elapsed();
+    for h in server_handles {
+        let _ = h.join();
+    }
+    BenchResult {
+        ops: ops.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+fn host_delegation_set(host: &mut Host, lo: u64, hi: u64, peer: u64) {
+    // Exposed for setup: mark the range as owned by `peer` without a
+    // network round trip.
+    host.setup_delegate(lo, hi, peer);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_get_bench_completes() {
+        let cfg = BenchConfig {
+            duration: Duration::from_millis(120),
+            client_threads: 4,
+            ..BenchConfig::default()
+        };
+        let r = run(&cfg);
+        assert!(r.ops > 0, "clients made progress: {r:?}");
+    }
+
+    #[test]
+    fn small_set_bench_completes() {
+        let cfg = BenchConfig {
+            duration: Duration::from_millis(120),
+            client_threads: 4,
+            workload: Workload::Set,
+            payload: 256,
+            ..BenchConfig::default()
+        };
+        let r = run(&cfg);
+        assert!(r.ops > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The delegation map (paper §3.2 / Figure 3): maps every possible key to
+//! the host responsible for it, stored compactly as a sorted list of pivot
+//! keys with one host per key range.
+//!
+//! `pivots[0] == 0` always, and range `i` is `pivots[i] .. pivots[i+1]`
+//! (the last range extends to `u64::MAX`). The tricky corner cases live in
+//! `set`, which splits/merges ranges — the part whose proof collapses from
+//! ~300 lines to automatic under the EPR abstraction (see
+//! [`crate::model`]).
+
+/// Identifies a host in the cluster.
+pub type HostId = u64;
+
+/// Compact total map from `u64` keys to hosts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelegationMap {
+    /// Sorted, deduplicated, `pivots[0] == 0`.
+    pivots: Vec<u64>,
+    /// `hosts[i]` owns keys in `pivots[i] .. pivots[i+1]`.
+    hosts: Vec<HostId>,
+}
+
+impl DelegationMap {
+    /// All keys delegated to `host`.
+    pub fn new(host: HostId) -> DelegationMap {
+        DelegationMap {
+            pivots: vec![0],
+            hosts: vec![host],
+        }
+    }
+
+    /// Internal invariant (checked in tests and on mutation in debug).
+    fn wf(&self) -> bool {
+        !self.pivots.is_empty()
+            && self.pivots[0] == 0
+            && self.pivots.len() == self.hosts.len()
+            && self.pivots.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// The host responsible for `k`.
+    pub fn get(&self, k: u64) -> HostId {
+        // Last pivot <= k (exists because pivots[0] == 0).
+        let i = match self.pivots.binary_search(&k) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.hosts[i]
+    }
+
+    /// Delegate the key range `lo..=hi` to `host`.
+    pub fn set(&mut self, lo: u64, hi: u64, host: HostId) {
+        assert!(lo <= hi, "empty range");
+        // Host owning hi+1 after the change (the old owner of hi's range),
+        // unless hi is MAX.
+        let after = if hi == u64::MAX {
+            None
+        } else {
+            Some(self.get(hi + 1))
+        };
+        // Remove all pivots inside (lo, hi].
+        let mut new_pivots = Vec::with_capacity(self.pivots.len() + 2);
+        let mut new_hosts = Vec::with_capacity(self.hosts.len() + 2);
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if p < lo {
+                new_pivots.push(p);
+                new_hosts.push(self.hosts[i]);
+            }
+        }
+        // Insert the new range.
+        new_pivots.push(lo);
+        new_hosts.push(host);
+        if let Some(owner) = after {
+            new_pivots.push(hi + 1);
+            new_hosts.push(owner);
+        }
+        // Re-append pivots above hi+1.
+        for (i, &p) in self.pivots.iter().enumerate() {
+            if p > hi.saturating_add(1) || (hi < u64::MAX && p == hi + 1 && false) {
+                if p > hi + 1 {
+                    new_pivots.push(p);
+                    new_hosts.push(self.hosts[i]);
+                }
+            }
+        }
+        // Merge adjacent ranges with equal hosts (keeps the list compact).
+        let mut pivots = Vec::with_capacity(new_pivots.len());
+        let mut hosts = Vec::with_capacity(new_hosts.len());
+        for (p, h) in new_pivots.into_iter().zip(new_hosts) {
+            if hosts.last() == Some(&h) {
+                continue;
+            }
+            pivots.push(p);
+            hosts.push(h);
+        }
+        self.pivots = pivots;
+        self.hosts = hosts;
+        debug_assert!(self.wf(), "delegation map invariant");
+    }
+
+    /// Number of distinct ranges (diagnostics).
+    pub fn ranges(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Iterate over `(start, host)` range boundaries.
+    pub fn iter_ranges(&self) -> impl Iterator<Item = (u64, HostId)> + '_ {
+        self.pivots.iter().copied().zip(self.hosts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Reference implementation: an explicit map over sampled keys.
+    #[derive(Clone)]
+    struct NaiveMap {
+        default: HostId,
+        explicit: BTreeMap<u64, HostId>,
+    }
+
+    impl NaiveMap {
+        fn new(h: HostId) -> NaiveMap {
+            NaiveMap {
+                default: h,
+                explicit: BTreeMap::new(),
+            }
+        }
+
+        fn get(&self, k: u64) -> HostId {
+            *self.explicit.get(&k).unwrap_or(&self.default)
+        }
+
+        fn set(&mut self, lo: u64, hi: u64, host: HostId, samples: &[u64]) {
+            for &k in samples {
+                if k >= lo && k <= hi {
+                    self.explicit.insert(k, host);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_map_is_uniform() {
+        let m = DelegationMap::new(7);
+        assert!(m.wf());
+        assert_eq!(m.get(0), 7);
+        assert_eq!(m.get(12345), 7);
+        assert_eq!(m.get(u64::MAX), 7);
+    }
+
+    #[test]
+    fn set_middle_range() {
+        let mut m = DelegationMap::new(1);
+        m.set(100, 200, 2);
+        assert_eq!(m.get(99), 1);
+        assert_eq!(m.get(100), 2);
+        assert_eq!(m.get(200), 2);
+        assert_eq!(m.get(201), 1);
+    }
+
+    #[test]
+    fn set_prefix_and_suffix() {
+        let mut m = DelegationMap::new(1);
+        m.set(0, 49, 2);
+        m.set(50, u64::MAX, 3);
+        assert_eq!(m.get(0), 2);
+        assert_eq!(m.get(49), 2);
+        assert_eq!(m.get(50), 3);
+        assert_eq!(m.get(u64::MAX), 3);
+        assert_eq!(m.ranges(), 2);
+    }
+
+    #[test]
+    fn overlapping_sets() {
+        let mut m = DelegationMap::new(1);
+        m.set(10, 100, 2);
+        m.set(50, 150, 3);
+        assert_eq!(m.get(9), 1);
+        assert_eq!(m.get(10), 2);
+        assert_eq!(m.get(49), 2);
+        assert_eq!(m.get(50), 3);
+        assert_eq!(m.get(150), 3);
+        assert_eq!(m.get(151), 1);
+    }
+
+    #[test]
+    fn covering_set_resets() {
+        let mut m = DelegationMap::new(1);
+        m.set(10, 20, 2);
+        m.set(5, 25, 3);
+        m.set(0, u64::MAX, 9);
+        assert_eq!(m.ranges(), 1);
+        assert_eq!(m.get(15), 9);
+    }
+
+    #[test]
+    fn boundary_at_max() {
+        let mut m = DelegationMap::new(1);
+        m.set(u64::MAX - 1, u64::MAX, 5);
+        assert_eq!(m.get(u64::MAX - 2), 1);
+        assert_eq!(m.get(u64::MAX - 1), 5);
+        assert_eq!(m.get(u64::MAX), 5);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_naive(
+            ops in proptest::collection::vec((0u64..1000, 0u64..1000, 1u64..8), 0..25),
+            queries in proptest::collection::vec(0u64..1100, 1..50),
+        ) {
+            let mut m = DelegationMap::new(0);
+            let mut n = NaiveMap::new(0);
+            // Sample points: all query keys.
+            for (lo, hi, host) in ops {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                m.set(lo, hi, host);
+                n.set(lo, hi, host, &queries);
+                proptest::prop_assert!(m.wf());
+            }
+            for &q in &queries {
+                proptest::prop_assert_eq!(m.get(q), n.get(q), "key {}", q);
+            }
+        }
+
+        #[test]
+        fn prop_pivots_stay_compact(
+            ops in proptest::collection::vec((0u64..100, 0u64..100, 1u64..4), 0..40),
+        ) {
+            let mut m = DelegationMap::new(0);
+            for (lo, hi, host) in ops.iter().copied() {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                m.set(lo, hi, host);
+            }
+            // Adjacent ranges always have distinct hosts (merged).
+            let hosts: Vec<_> = m.iter_ranges().map(|(_, h)| h).collect();
+            for w in hosts.windows(2) {
+                proptest::prop_assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+}

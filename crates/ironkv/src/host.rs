@@ -1,0 +1,414 @@
+//! The IronKV host (paper §4.2.1): a sharded key-value store node.
+//!
+//! Each host owns the keys its delegation map assigns to it, answers
+//! `Get`/`Set` for owned keys, redirects for foreign keys, and supports
+//! `Delegate` — transferring a key range (with its data) to another host.
+//! A tombstone table of sequence numbers gives at-most-once semantics for
+//! client requests (the `MaybeAck` example the paper inlines).
+
+use std::collections::HashMap;
+
+use crate::delegation::{DelegationMap, HostId};
+use crate::marshal::Marshallable;
+use crate::net::{Addr, Endpoint};
+
+/// Client / inter-host messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Client: read `key` (request `seq`).
+    Get { seq: u64, key: u64 },
+    /// Client: write `key := value` (request `seq`).
+    Set { seq: u64, key: u64, value: Vec<u8> },
+    /// Reply to a Get/Set.
+    Reply {
+        seq: u64,
+        found: bool,
+        value: Vec<u8>,
+    },
+    /// "Not my key — ask that host."
+    Redirect { seq: u64, host: HostId },
+    /// Host-to-host: take ownership of `[lo, hi]` with this data.
+    Delegate {
+        lo: u64,
+        hi: u64,
+        pairs: Vec<(u64, Vec<u8>)>,
+    },
+    /// Ack for a delegate transfer.
+    DelegateAck { lo: u64, hi: u64 },
+}
+
+const TAG_GET: u8 = 0;
+const TAG_SET: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_REDIRECT: u8 = 3;
+const TAG_DELEGATE: u8 = 4;
+const TAG_DELEGATE_ACK: u8 = 5;
+
+impl Marshallable for Msg {
+    fn marshal(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Get { seq, key } => {
+                out.push(TAG_GET);
+                seq.marshal(out);
+                key.marshal(out);
+            }
+            Msg::Set { seq, key, value } => {
+                out.push(TAG_SET);
+                seq.marshal(out);
+                key.marshal(out);
+                value.marshal(out);
+            }
+            Msg::Reply { seq, found, value } => {
+                out.push(TAG_REPLY);
+                seq.marshal(out);
+                found.marshal(out);
+                value.marshal(out);
+            }
+            Msg::Redirect { seq, host } => {
+                out.push(TAG_REDIRECT);
+                seq.marshal(out);
+                host.marshal(out);
+            }
+            Msg::Delegate { lo, hi, pairs } => {
+                out.push(TAG_DELEGATE);
+                lo.marshal(out);
+                hi.marshal(out);
+                pairs.marshal(out);
+            }
+            Msg::DelegateAck { lo, hi } => {
+                out.push(TAG_DELEGATE_ACK);
+                lo.marshal(out);
+                hi.marshal(out);
+            }
+        }
+    }
+
+    fn parse(buf: &[u8], pos: &mut usize) -> Option<Msg> {
+        let tag = u8::parse(buf, pos)?;
+        Some(match tag {
+            TAG_GET => Msg::Get {
+                seq: u64::parse(buf, pos)?,
+                key: u64::parse(buf, pos)?,
+            },
+            TAG_SET => Msg::Set {
+                seq: u64::parse(buf, pos)?,
+                key: u64::parse(buf, pos)?,
+                value: Vec::<u8>::parse(buf, pos)?,
+            },
+            TAG_REPLY => Msg::Reply {
+                seq: u64::parse(buf, pos)?,
+                found: bool::parse(buf, pos)?,
+                value: Vec::<u8>::parse(buf, pos)?,
+            },
+            TAG_REDIRECT => Msg::Redirect {
+                seq: u64::parse(buf, pos)?,
+                host: u64::parse(buf, pos)?,
+            },
+            TAG_DELEGATE => Msg::Delegate {
+                lo: u64::parse(buf, pos)?,
+                hi: u64::parse(buf, pos)?,
+                pairs: Vec::<(u64, Vec<u8>)>::parse(buf, pos)?,
+            },
+            TAG_DELEGATE_ACK => Msg::DelegateAck {
+                lo: u64::parse(buf, pos)?,
+                hi: u64::parse(buf, pos)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One KV host.
+pub struct Host {
+    pub id: HostId,
+    endpoint: Endpoint,
+    store: HashMap<u64, Vec<u8>>,
+    delegation: DelegationMap,
+    /// At-most-once: highest sequence number acked per client address
+    /// (the tombstone table of the paper's MaybeAck discussion).
+    tombstones: HashMap<Addr, u64>,
+}
+
+impl Host {
+    /// Create a host; initially `initial_owner` owns the whole key space.
+    pub fn new(id: HostId, endpoint: Endpoint, initial_owner: HostId) -> Host {
+        Host {
+            id,
+            endpoint,
+            store: HashMap::new(),
+            delegation: DelegationMap::new(initial_owner),
+            tombstones: HashMap::new(),
+        }
+    }
+
+    pub fn owns(&self, key: u64) -> bool {
+        self.delegation.get(key) == self.id
+    }
+
+    /// The paper's MaybeAck, un-split: decide whether a request is a
+    /// duplicate and (if fresh) record it — one small function instead of
+    /// IronFleet's three.
+    fn fresh_request(&mut self, client: Addr, seq: u64) -> bool {
+        let last = self.tombstones.get(&client).copied();
+        match last {
+            Some(l) if seq <= l => false,
+            _ => {
+                self.tombstones.insert(client, seq);
+                true
+            }
+        }
+    }
+
+    /// Process one incoming packet; sends any replies. Returns false if the
+    /// payload failed to parse (dropped, per the spec's "marshalling is
+    /// unambiguous" obligation the model proves).
+    pub fn handle(&mut self, src: Addr, payload: &[u8]) -> bool {
+        let msg = match Msg::from_bytes(payload) {
+            Some(m) => m,
+            None => return false,
+        };
+        match msg {
+            Msg::Get { seq, key } => {
+                if !self.owns(key) {
+                    let host = self.delegation.get(key);
+                    self.send(src, &Msg::Redirect { seq, host });
+                } else {
+                    let (found, value) = match self.store.get(&key) {
+                        Some(v) => (true, v.clone()),
+                        None => (false, Vec::new()),
+                    };
+                    self.send(src, &Msg::Reply { seq, found, value });
+                }
+            }
+            Msg::Set { seq, key, value } => {
+                if !self.owns(key) {
+                    let host = self.delegation.get(key);
+                    self.send(src, &Msg::Redirect { seq, host });
+                } else if self.fresh_request(src, seq) {
+                    self.store.insert(key, value.clone());
+                    self.send(
+                        src,
+                        &Msg::Reply {
+                            seq,
+                            found: true,
+                            value,
+                        },
+                    );
+                } else {
+                    // Duplicate: ack without re-executing.
+                    self.send(
+                        src,
+                        &Msg::Reply {
+                            seq,
+                            found: true,
+                            value: Vec::new(),
+                        },
+                    );
+                }
+            }
+            Msg::Delegate { lo, hi, pairs } => {
+                self.delegation.set(lo, hi, self.id);
+                for (k, v) in pairs {
+                    if k >= lo && k <= hi {
+                        self.store.insert(k, v);
+                    }
+                }
+                self.send(src, &Msg::DelegateAck { lo, hi });
+            }
+            Msg::DelegateAck { .. } | Msg::Reply { .. } | Msg::Redirect { .. } => {}
+        }
+        true
+    }
+
+    /// Initiate delegation of `[lo, hi]` to `target` (also updates the
+    /// local map and evicts the transferred pairs).
+    pub fn delegate_to(&mut self, target: HostId, target_addr: Addr, lo: u64, hi: u64) {
+        let pairs: Vec<(u64, Vec<u8>)> = self
+            .store
+            .iter()
+            .filter(|(k, _)| **k >= lo && **k <= hi)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for (k, _) in &pairs {
+            self.store.remove(k);
+        }
+        self.delegation.set(lo, hi, target);
+        self.send(target_addr, &Msg::Delegate { lo, hi, pairs });
+    }
+
+    fn send(&self, dst: Addr, msg: &Msg) {
+        let _ = self.endpoint.send(dst, msg.to_bytes());
+    }
+
+    /// Receive one pending packet, if any (non-blocking; for examples and
+    /// tests that pump hosts manually).
+    pub fn recv_one(&self) -> Option<crate::net::Packet> {
+        self.endpoint
+            .recv_timeout(std::time::Duration::from_millis(200))
+    }
+
+    /// Run until the endpoint closes (serving loop for the benchmark).
+    pub fn run_until<F: Fn() -> bool>(&mut self, stop: F) {
+        while !stop() {
+            if let Some(pkt) = self
+                .endpoint
+                .recv_timeout(std::time::Duration::from_millis(10))
+            {
+                self.handle(pkt.src, &pkt.payload);
+            }
+        }
+    }
+
+    /// Direct access for tests.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Setup-time delegation-map edit (no network traffic); used by the
+    /// benchmark harness to pre-shard the key space.
+    pub fn setup_delegate(&mut self, lo: u64, hi: u64, owner: HostId) {
+        self.delegation.set(lo, hi, owner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+
+    #[test]
+    fn msg_round_trip() {
+        let msgs = vec![
+            Msg::Get { seq: 1, key: 42 },
+            Msg::Set {
+                seq: 2,
+                key: 7,
+                value: vec![1, 2, 3],
+            },
+            Msg::Reply {
+                seq: 2,
+                found: true,
+                value: vec![9],
+            },
+            Msg::Redirect { seq: 3, host: 5 },
+            Msg::Delegate {
+                lo: 0,
+                hi: 10,
+                pairs: vec![(1, vec![1]), (2, vec![2, 2])],
+            },
+            Msg::DelegateAck { lo: 0, hi: 10 },
+        ];
+        for m in msgs {
+            assert_eq!(Msg::from_bytes(&m.to_bytes()), Some(m));
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let net = Network::new();
+        let hep = net.bind(100);
+        let client = net.bind(1);
+        let mut host = Host::new(100, hep, 100);
+        // Set then get.
+        assert!(client.send(
+            100,
+            Msg::Set {
+                seq: 1,
+                key: 5,
+                value: vec![42]
+            }
+            .to_bytes()
+        ));
+        let pkt = host.endpoint.recv().unwrap();
+        host.handle(pkt.src, &pkt.payload);
+        let reply = Msg::from_bytes(&client.recv().unwrap().payload).unwrap();
+        assert!(matches!(reply, Msg::Reply { seq: 1, .. }));
+        client.send(100, Msg::Get { seq: 2, key: 5 }.to_bytes());
+        let pkt = host.endpoint.recv().unwrap();
+        host.handle(pkt.src, &pkt.payload);
+        let reply = Msg::from_bytes(&client.recv().unwrap().payload).unwrap();
+        assert_eq!(
+            reply,
+            Msg::Reply {
+                seq: 2,
+                found: true,
+                value: vec![42]
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_set_executes_once() {
+        let net = Network::new();
+        let hep = net.bind(100);
+        let client = net.bind(1);
+        let mut host = Host::new(100, hep, 100);
+        let set = Msg::Set {
+            seq: 1,
+            key: 5,
+            value: vec![1],
+        };
+        client.send(100, set.to_bytes());
+        client.send(100, set.to_bytes());
+        for _ in 0..2 {
+            let pkt = host.endpoint.recv().unwrap();
+            host.handle(pkt.src, &pkt.payload);
+        }
+        assert_eq!(host.store_len(), 1);
+        // A *newer* set for the same key still goes through.
+        client.send(
+            100,
+            Msg::Set {
+                seq: 2,
+                key: 5,
+                value: vec![2],
+            }
+            .to_bytes(),
+        );
+        let pkt = host.endpoint.recv().unwrap();
+        host.handle(pkt.src, &pkt.payload);
+        assert_eq!(host.store.get(&5), Some(&vec![2]));
+    }
+
+    #[test]
+    fn redirect_for_foreign_keys() {
+        let net = Network::new();
+        let hep = net.bind(100);
+        let client = net.bind(1);
+        let mut host = Host::new(100, hep, 200); // host 200 owns everything
+        client.send(100, Msg::Get { seq: 1, key: 5 }.to_bytes());
+        let pkt = host.endpoint.recv().unwrap();
+        host.handle(pkt.src, &pkt.payload);
+        let reply = Msg::from_bytes(&client.recv().unwrap().payload).unwrap();
+        assert_eq!(reply, Msg::Redirect { seq: 1, host: 200 });
+    }
+
+    #[test]
+    fn delegation_transfers_data_and_ownership() {
+        let net = Network::new();
+        let aep = net.bind(100);
+        let bep = net.bind(200);
+        let mut a = Host::new(100, aep, 100);
+        let mut b = Host::new(200, bep, 100);
+        // Seed host A.
+        a.store.insert(5, vec![5]);
+        a.store.insert(50, vec![50]);
+        // A delegates [0, 9] to B.
+        a.delegate_to(200, 200, 0, 9);
+        assert!(!a.owns(5));
+        assert!(a.owns(50));
+        assert_eq!(a.store_len(), 1);
+        let pkt = b.endpoint.recv().unwrap();
+        b.handle(pkt.src, &pkt.payload);
+        assert!(b.owns(5));
+        assert_eq!(b.store.get(&5), Some(&vec![5]));
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let net = Network::new();
+        let hep = net.bind(100);
+        let mut host = Host::new(100, hep, 100);
+        assert!(!host.handle(1, &[255, 255, 1]));
+    }
+}

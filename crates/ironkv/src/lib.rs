@@ -1,0 +1,27 @@
+//! # veris-ironkv — the IronKV case study (paper §4.2.1)
+//!
+//! A port of IronFleet's IronKV: a key-value store dynamically sharded
+//! across hosts.
+//!
+//! - [`delegation`] — the pivot-list delegation map (the §3.2 subject);
+//! - [`marshal`] — the trait + macro marshalling library that replaces
+//!   IronFleet's hand-written boilerplate;
+//! - [`net`] — the in-process message-passing substrate;
+//! - [`host`] — the KV host: Get/Set/Redirect/Delegate with a tombstone
+//!   table for at-most-once semantics;
+//! - [`model`] — verification: concrete pivot-list model in default mode,
+//!   plus the EPR abstraction whose invariants check automatically
+//!   (Figure 3);
+//! - [`bench_harness`] — the Figure 10 throughput workload.
+
+pub mod bench_harness;
+pub mod delegation;
+pub mod host;
+pub mod marshal;
+pub mod model;
+pub mod net;
+
+pub use delegation::{DelegationMap, HostId};
+pub use host::{Host, Msg};
+pub use marshal::Marshallable;
+pub use net::{Addr, Endpoint, Network, Packet};

@@ -1,0 +1,135 @@
+//! In-process message-passing network — the substrate the IronKV hosts run
+//! on (substituting for IronFleet's UDP harness). Hosts get addressable
+//! mailboxes; messages are marshalled byte vectors, so the marshalling
+//! library sits on the real data path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+/// A network endpoint address.
+pub type Addr = u64;
+
+/// An in-flight packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    pub src: Addr,
+    pub dst: Addr,
+    pub payload: Vec<u8>,
+}
+
+/// The shared network fabric.
+#[derive(Clone, Default)]
+pub struct Network {
+    inner: Arc<Mutex<HashMap<Addr, Sender<Packet>>>>,
+}
+
+impl Network {
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Register an endpoint; returns its receiving side.
+    pub fn bind(&self, addr: Addr) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.inner.lock().insert(addr, tx);
+        Endpoint {
+            addr,
+            net: self.clone(),
+            rx,
+        }
+    }
+
+    fn send(&self, pkt: Packet) -> bool {
+        let guard = self.inner.lock();
+        match guard.get(&pkt.dst) {
+            Some(tx) => tx.send(pkt).is_ok(),
+            None => false, // dropped: unknown destination
+        }
+    }
+}
+
+/// A bound endpoint: can send to any address and receive its own mail.
+pub struct Endpoint {
+    pub addr: Addr,
+    net: Network,
+    rx: Receiver<Packet>,
+}
+
+impl Endpoint {
+    /// Send a payload; returns false if the destination does not exist
+    /// (packet dropped — the network is unreliable, as in the spec).
+    pub fn send(&self, dst: Addr, payload: Vec<u8>) -> bool {
+        self.net.send(Packet {
+            src: self.addr,
+            dst,
+            payload,
+        })
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<Packet> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet> {
+        match self.rx.try_recv() {
+            Ok(p) => Some(p),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, d: std::time::Duration) -> Option<Packet> {
+        self.rx.recv_timeout(d).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net = Network::new();
+        let a = net.bind(1);
+        let b = net.bind(2);
+        assert!(a.send(2, vec![1, 2, 3]));
+        let p = b.recv().unwrap();
+        assert_eq!(p.src, 1);
+        assert_eq!(p.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_destination_drops() {
+        let net = Network::new();
+        let a = net.bind(1);
+        assert!(!a.send(99, vec![0]));
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        let net = Network::new();
+        let dst = net.bind(0);
+        crossbeam::thread::scope(|s| {
+            for i in 1..=8u64 {
+                let ep = net.bind(i);
+                s.spawn(move |_| {
+                    for k in 0..100u64 {
+                        assert!(ep.send(0, k.to_le_bytes().to_vec()));
+                    }
+                });
+            }
+            let mut got = 0;
+            while got < 800 {
+                if dst.recv().is_some() {
+                    got += 1;
+                }
+            }
+        })
+        .unwrap();
+    }
+}

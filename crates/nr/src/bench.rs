@@ -1,0 +1,152 @@
+//! The Figure 11 throughput harness: operations/second against
+//! [`crate::NodeReplicated`] as thread count and write ratio vary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::dispatch::{KvMap, KvRead, KvWrite};
+use crate::replica::NodeReplicated;
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NrBenchConfig {
+    pub replicas: usize,
+    pub threads: usize,
+    /// Writes per 100 operations (0, 10, or 100 in the paper).
+    pub write_pct: u32,
+    pub duration: Duration,
+    pub keys: u64,
+}
+
+impl Default for NrBenchConfig {
+    fn default() -> Self {
+        NrBenchConfig {
+            replicas: 4,
+            threads: 4,
+            write_pct: 10,
+            duration: Duration::from_millis(250),
+            keys: 1024,
+        }
+    }
+}
+
+/// Result: total completed operations and elapsed wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct NrBenchResult {
+    pub ops: u64,
+    pub elapsed: Duration,
+}
+
+impl NrBenchResult {
+    pub fn mops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Run the workload.
+pub fn run(cfg: &NrBenchConfig) -> NrBenchResult {
+    let threads_per_replica = cfg.threads.div_ceil(cfg.replicas).max(1);
+    let nr = Arc::new(NodeReplicated::<KvMap>::new(
+        cfg.replicas,
+        threads_per_replica,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for th in 0..cfg.threads {
+        let nr = Arc::clone(&nr);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let cfg = *cfg;
+        handles.push(std::thread::spawn(move || {
+            let token = nr.register();
+            let mut rng: u64 = 0x2545F4914F6CDD1D ^ th as u64;
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let key = rng % cfg.keys;
+                if rng % 100 < cfg.write_pct as u64 {
+                    nr.execute_write(token, KvWrite::Put(key, rng));
+                } else {
+                    let _ = nr.execute_read(token, &KvRead::Get(key));
+                }
+                local += 1;
+            }
+            ops.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    NrBenchResult {
+        ops: ops.load(Ordering::Relaxed),
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// A lock-based baseline (a single mutex around the map) for comparison.
+pub fn run_mutex_baseline(cfg: &NrBenchConfig) -> NrBenchResult {
+    use crate::dispatch::Dispatch;
+    let data = Arc::new(parking_lot::Mutex::new(KvMap::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for th in 0..cfg.threads {
+        let data = Arc::clone(&data);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let cfg = *cfg;
+        handles.push(std::thread::spawn(move || {
+            let mut rng: u64 = 0x9E3779B97F4A7C15 ^ th as u64;
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let key = rng % cfg.keys;
+                if rng % 100 < cfg.write_pct as u64 {
+                    data.lock().dispatch_write(&KvWrite::Put(key, rng));
+                } else {
+                    let _ = data.lock().dispatch_read(&KvRead::Get(key));
+                }
+                local += 1;
+            }
+            ops.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    NrBenchResult {
+        ops: ops.load(Ordering::Relaxed),
+        elapsed: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_makes_progress() {
+        let cfg = NrBenchConfig {
+            duration: Duration::from_millis(100),
+            threads: 4,
+            replicas: 2,
+            ..NrBenchConfig::default()
+        };
+        let r = run(&cfg);
+        assert!(r.ops > 0);
+        let b = run_mutex_baseline(&cfg);
+        assert!(b.ops > 0);
+    }
+}

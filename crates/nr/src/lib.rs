@@ -1,0 +1,25 @@
+//! # veris-nr — Node Replication (paper §4.2.2)
+//!
+//! NR converts a sequential data structure (any [`Dispatch`] implementor)
+//! into a linearizable, NUMA-aware concurrent one: mutating operations are
+//! appended to a shared cyclic log; per-node replicas replay the log
+//! lazily; flat combining batches each node's pending operations.
+//!
+//! - [`dispatch`] — the generic trait interface (Verus-NR's fidelity
+//!   improvement over IronSync-NR) plus a `KvMap` payload;
+//! - [`log`] — the cyclic buffer with CAS tail and per-replica versions;
+//! - [`replica`] — replicas, flat combining, and [`NodeReplicated`];
+//! - [`sync_model`] — the VerusSync protocol model (Figure 5's
+//!   `reader_finish` among its transitions) with verified inductive
+//!   invariants;
+//! - [`bench`] — the Figure 11 throughput harness (threads × write ratio).
+
+pub mod bench;
+pub mod dispatch;
+pub mod log;
+pub mod replica;
+pub mod sync_model;
+
+pub use dispatch::{Dispatch, KvMap, KvRead, KvWrite};
+pub use log::Log;
+pub use replica::{NodeReplicated, Replica, ThreadToken};

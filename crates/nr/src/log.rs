@@ -1,0 +1,235 @@
+//! The shared operation log (the paper's cyclic buffer, §3.4's NR Queue).
+//!
+//! Writers claim slots by compare-and-swap on the global `tail`; each
+//! replica tracks how far it has replayed in its `local_versions` entry;
+//! the `head` (GC watermark) is the minimum of those, and a slot may only
+//! be overwritten once every replica has replayed past its previous
+//! occupant — exactly the invariants the VerusSync model
+//! ([`crate::sync_model`]) proves about the abstract protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+
+use crate::dispatch::Dispatch;
+
+/// One log slot: the log index it currently holds plus the operation.
+struct Slot<T> {
+    cell: RwLock<Option<(u64, T)>>,
+}
+
+/// The shared log.
+pub struct Log<D: Dispatch> {
+    slots: Vec<Slot<D::WriteOp>>,
+    tail: CachePadded<AtomicU64>,
+    head: CachePadded<AtomicU64>,
+    local_versions: Vec<CachePadded<AtomicU64>>,
+    size: u64,
+}
+
+impl<D: Dispatch> Log<D> {
+    /// Create a log with `2^order` slots for `replicas` replicas.
+    pub fn new(order: u32, replicas: usize) -> Log<D> {
+        let size = 1u64 << order;
+        Log {
+            slots: (0..size)
+                .map(|_| Slot {
+                    cell: RwLock::new(None),
+                })
+                .collect(),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            head: CachePadded::new(AtomicU64::new(0)),
+            local_versions: (0..replicas)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            size,
+        }
+    }
+
+    pub fn num_replicas(&self) -> usize {
+        self.local_versions.len()
+    }
+
+    pub fn tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    pub fn local_version(&self, replica: usize) -> u64 {
+        self.local_versions[replica].load(Ordering::Acquire)
+    }
+
+    /// Set a replica's local version directly (used by the combiner while
+    /// it holds the replica's data lock).
+    pub fn set_local_version(&self, replica: usize, v: u64) {
+        self.local_versions[replica].store(v, Ordering::Release);
+    }
+
+    /// Recompute the head as the minimum local version (the
+    /// `advance_head` transition).
+    pub fn advance_head(&self) {
+        let min = self
+            .local_versions
+            .iter()
+            .map(|v| v.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        // Monotone update.
+        let mut cur = self.head.load(Ordering::Relaxed);
+        while cur < min {
+            match self
+                .head
+                .compare_exchange(cur, min, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Try to append an operation; `Err(op)` when the buffer is full (the
+    /// `tail - head < buffer_size` enabling condition fails). The caller
+    /// must replay its own replica before retrying — spinning here while
+    /// holding the replica lock would deadlock once every combiner waits
+    /// for someone else's replay.
+    pub fn try_append(&self, op: D::WriteOp) -> Result<u64, D::WriteOp> {
+        loop {
+            let t = self.tail.load(Ordering::Acquire);
+            let h = self.head.load(Ordering::Acquire);
+            if t.wrapping_sub(h) >= self.size {
+                self.advance_head();
+                let h2 = self.head.load(Ordering::Acquire);
+                if t.wrapping_sub(h2) >= self.size {
+                    return Err(op);
+                }
+                continue;
+            }
+            if self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let slot = &self.slots[(t % self.size) as usize];
+                *slot.cell.write() = Some((t, op));
+                return Ok(t);
+            }
+        }
+    }
+
+    /// Append, spinning while full. Only safe when the caller does not
+    /// hold any replica lock (tests and single-owner usage).
+    pub fn append(&self, op: D::WriteOp) -> u64 {
+        let mut op = op;
+        loop {
+            match self.try_append(op) {
+                Ok(i) => return i,
+                Err(o) => {
+                    op = o;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Read the op at log index `idx`, spinning until the writer has
+    /// published it (the slot's stored index matches).
+    pub fn read(&self, idx: u64) -> D::WriteOp {
+        let slot = &self.slots[(idx % self.size) as usize];
+        loop {
+            {
+                let guard = slot.cell.read();
+                if let Some((i, op)) = guard.as_ref() {
+                    if *i == idx {
+                        return op.clone();
+                    }
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Replay `replica`'s copy up to (excluding) `target`, applying each op
+    /// in log order. Returns the response of `capture` if it lies in the
+    /// replayed range.
+    pub fn replay(
+        &self,
+        replica: usize,
+        data: &mut D,
+        target: u64,
+        capture: Option<u64>,
+    ) -> Option<D::Response> {
+        let mut v = self.local_versions[replica].load(Ordering::Acquire);
+        let mut captured = None;
+        while v < target {
+            let op = self.read(v);
+            let resp = data.dispatch_write(&op);
+            if capture == Some(v) {
+                captured = Some(resp);
+            }
+            v += 1;
+            self.local_versions[replica].store(v, Ordering::Release);
+        }
+        captured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{KvMap, KvWrite};
+
+    #[test]
+    fn append_assigns_sequential_indices() {
+        let log: Log<KvMap> = Log::new(4, 1);
+        for i in 0..10 {
+            assert_eq!(log.append(KvWrite::Put(i, i)), i);
+        }
+        assert_eq!(log.tail(), 10);
+    }
+
+    #[test]
+    fn replay_applies_in_order() {
+        let log: Log<KvMap> = Log::new(4, 1);
+        for i in 0..5 {
+            log.append(KvWrite::Put(1, i));
+        }
+        let mut d = KvMap::default();
+        log.replay(0, &mut d, log.tail(), None);
+        assert_eq!(d.dispatch_read(&crate::dispatch::KvRead::Get(1)), Some(4));
+        assert_eq!(log.local_version(0), 5);
+    }
+
+    #[test]
+    fn capture_returns_own_response() {
+        let log: Log<KvMap> = Log::new(4, 1);
+        log.append(KvWrite::Put(7, 1));
+        let idx = log.append(KvWrite::Put(7, 2));
+        let mut d = KvMap::default();
+        let resp = log.replay(0, &mut d, log.tail(), Some(idx));
+        // Put(7,2) overwrote Put(7,1): previous value 1.
+        assert_eq!(resp, Some(Some(1)));
+    }
+
+    #[test]
+    fn wraparound_blocks_until_laggard_catches_up() {
+        // Size-4 log, 2 replicas: replica 1 lags; appends beyond head+4
+        // must wait for it.
+        let log: std::sync::Arc<Log<KvMap>> = std::sync::Arc::new(Log::new(2, 2));
+        let mut d0 = KvMap::default();
+        for i in 0..4 {
+            log.append(KvWrite::Put(i, i));
+        }
+        log.replay(0, &mut d0, 4, None);
+        // Buffer is full for replica 1 (head = min(4, 0) = 0).
+        let log2 = std::sync::Arc::clone(&log);
+        let h = std::thread::spawn(move || {
+            // This append must block until replica 1 replays.
+            log2.append(KvWrite::Put(99, 99))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut d1 = KvMap::default();
+        log.replay(1, &mut d1, 4, None);
+        let idx = h.join().unwrap();
+        assert_eq!(idx, 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 12's measurement: mean map/unmap latency over many 4K frames,
+//! with reclamation on (the verified design) and off (the `Unmap(Verif.*)`
+//! ablation), plus a reference implementation without reclamation.
+
+use std::time::{Duration, Instant};
+
+use crate::table::PageTable;
+
+/// Latency results in nanoseconds per operation.
+#[derive(Clone, Copy, Debug)]
+pub struct PtBenchResult {
+    pub map_ns: f64,
+    pub unmap_ns: f64,
+}
+
+/// Map then unmap `n` distinct pages; report mean latencies.
+pub fn run(n: u64, reclaim: bool) -> PtBenchResult {
+    let mut pt = PageTable::new();
+    pt.set_reclaim(reclaim);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let va = (i + 1) << 12;
+        pt.map(va, (i + 1) << 12, true, false);
+    }
+    let map_time = t0.elapsed();
+    let t1 = Instant::now();
+    for i in 0..n {
+        let va = (i + 1) << 12;
+        pt.unmap(va);
+    }
+    let unmap_time = t1.elapsed();
+    PtBenchResult {
+        map_ns: ns_per_op(map_time, n),
+        unmap_ns: ns_per_op(unmap_time, n),
+    }
+}
+
+/// The unverified reference: a flat `HashMap` acting as an idealized page
+/// table without directory bookkeeping.
+pub fn run_reference(n: u64) -> PtBenchResult {
+    let mut m = std::collections::HashMap::new();
+    let t0 = Instant::now();
+    for i in 0..n {
+        m.insert((i + 1) << 12, (i + 1) << 12);
+    }
+    let map_time = t0.elapsed();
+    let t1 = Instant::now();
+    for i in 0..n {
+        m.remove(&((i + 1) << 12));
+    }
+    let unmap_time = t1.elapsed();
+    PtBenchResult {
+        map_ns: ns_per_op(map_time, n),
+        unmap_ns: ns_per_op(unmap_time, n),
+    }
+}
+
+fn ns_per_op(d: Duration, n: u64) -> f64 {
+    d.as_nanos() as f64 / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reclaim_costs_more() {
+        let with = run(2000, true);
+        let without = run(2000, false);
+        assert!(with.map_ns > 0.0 && without.map_ns > 0.0);
+        // Reclamation scans directories on unmap: it cannot be cheaper by a
+        // large margin; typically it is notably slower.
+        assert!(with.unmap_ns > without.unmap_ns * 0.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Bit-packed x86-64 page-table entries (paper §4.2.3).
+//!
+//! A PTE is a 64-bit word: bit 0 = present, bit 1 = writable, bit 2 =
+//! user-accessible, bits 12..52 = physical frame address (4KiB-aligned).
+//! The flag/address packing is exactly the idiom §3.3's `by(bit_vector)`
+//! automation exists for; [`crate::model`] proves the corresponding facts.
+
+/// Bit positions and masks.
+pub const FLAG_PRESENT: u64 = 1 << 0;
+pub const FLAG_WRITABLE: u64 = 1 << 1;
+pub const FLAG_USER: u64 = 1 << 2;
+/// Physical address mask: bits 12..52.
+pub const ADDR_MASK: u64 = 0x000F_FFFF_FFFF_F000;
+
+/// Page size constants.
+pub const PAGE_SIZE: u64 = 4096;
+pub const ENTRIES_PER_TABLE: u64 = 512;
+pub const LEVELS: usize = 4;
+
+/// A page-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Build an entry pointing at `frame` (must be page-aligned).
+    ///
+    /// # Panics
+    /// Panics if `frame` is not 4KiB-aligned or exceeds the physical
+    /// address width (the model's precondition).
+    pub fn new(frame: u64, writable: bool, user: bool) -> Pte {
+        assert_eq!(frame & !ADDR_MASK, 0, "frame must be aligned and in range");
+        let mut v = frame | FLAG_PRESENT;
+        if writable {
+            v |= FLAG_WRITABLE;
+        }
+        if user {
+            v |= FLAG_USER;
+        }
+        Pte(v)
+    }
+
+    pub fn is_present(self) -> bool {
+        self.0 & FLAG_PRESENT != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & FLAG_WRITABLE != 0
+    }
+
+    pub fn is_user(self) -> bool {
+        self.0 & FLAG_USER != 0
+    }
+
+    pub fn frame(self) -> u64 {
+        self.0 & ADDR_MASK
+    }
+}
+
+/// Split a canonical virtual address into its four 9-bit indices
+/// (level 3 = PML4 down to level 0 = PT).
+pub fn va_indices(va: u64) -> [usize; LEVELS] {
+    [
+        ((va >> 39) & 0x1FF) as usize, // level 3
+        ((va >> 30) & 0x1FF) as usize, // level 2
+        ((va >> 21) & 0x1FF) as usize, // level 1
+        ((va >> 12) & 0x1FF) as usize, // level 0
+    ]
+}
+
+/// Reassemble a virtual page base address from its indices.
+pub fn va_from_indices(idx: [usize; LEVELS]) -> u64 {
+    ((idx[0] as u64) << 39)
+        | ((idx[1] as u64) << 30)
+        | ((idx[2] as u64) << 21)
+        | ((idx[3] as u64) << 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_packing() {
+        let p = Pte::new(0x1234_5000, true, false);
+        assert!(p.is_present());
+        assert!(p.is_writable());
+        assert!(!p.is_user());
+        assert_eq!(p.frame(), 0x1234_5000);
+    }
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::EMPTY.is_present());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_frame_rejected() {
+        Pte::new(0x1001, false, false);
+    }
+
+    #[test]
+    fn va_split_and_join() {
+        let va = 0x0000_7F12_3456_7000u64;
+        let idx = va_indices(va);
+        assert_eq!(va_from_indices(idx), va & !0xFFF);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip_indices(va in 0u64..(1 << 48)) {
+            let page = va & !0xFFF;
+            proptest::prop_assert_eq!(va_from_indices(va_indices(page)), page);
+        }
+
+        #[test]
+        fn prop_flags_do_not_disturb_address(frame in 0u64..(1u64 << 40)) {
+            let frame = (frame << 12) & ADDR_MASK;
+            let p = Pte::new(frame, true, true);
+            proptest::prop_assert_eq!(p.frame(), frame);
+        }
+    }
+}

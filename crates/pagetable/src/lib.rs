@@ -1,0 +1,21 @@
+//! # veris-pagetable — the OS page table case study (paper §4.2.3)
+//!
+//! A 4-level x86-64 page table over simulated physical memory:
+//!
+//! - [`entry`] — bit-packed PTEs (flags + 40-bit frame address);
+//! - [`table`] — `map`/`unmap` with empty-directory reclamation (the
+//!   Figure 12 design decision, toggleable) and the MMU interpreter
+//!   (`translate`) acting as the trusted hardware spec;
+//! - [`model`] — three proof layers: `by(bit_vector)` packing lemmas
+//!   (including the paper's own §4.2.3 mask example),
+//!   `by(nonlinear_arith)` offset lemmas, and a default-mode abstract
+//!   map spec;
+//! - [`bench`] — Figure 12's map/unmap latency measurement.
+
+pub mod bench;
+pub mod entry;
+pub mod model;
+pub mod table;
+
+pub use entry::{va_indices, Pte, PAGE_SIZE};
+pub use table::{MapResult, PageTable, UnmapResult};

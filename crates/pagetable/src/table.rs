@@ -1,0 +1,290 @@
+//! The 4-level page table over a simulated physical memory (the substitute
+//! for real page-table RAM — the trusted "MMU memory" struct of §4.2.3),
+//! plus the MMU interpreter that defines what the hardware would do.
+//!
+//! `map`/`unmap` operate on 4KiB frames; `unmap` reclaims page directories
+//! that become empty — the design decision responsible for the paper's
+//! Figure 12 unmap slowdown, toggleable via [`PageTable::set_reclaim`] to
+//! reproduce the `Unmap(Verif.*)` series.
+
+use std::collections::HashMap;
+
+use crate::entry::{va_indices, Pte, ENTRIES_PER_TABLE, LEVELS, PAGE_SIZE};
+
+/// Simulated physical memory holding page-table frames.
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    /// Frame address -> 512 entries.
+    frames: HashMap<u64, Box<[u64; 512]>>,
+    next_frame: u64,
+    allocated: u64,
+    freed: u64,
+}
+
+impl PhysMem {
+    pub fn new() -> PhysMem {
+        PhysMem {
+            frames: HashMap::new(),
+            next_frame: 0x100_0000, // arbitrary base for table frames
+            allocated: 0,
+            freed: 0,
+        }
+    }
+
+    /// Allocate a zeroed table frame; returns its physical address.
+    pub fn alloc_table(&mut self) -> u64 {
+        let addr = self.next_frame;
+        self.next_frame += PAGE_SIZE;
+        self.frames.insert(addr, Box::new([0u64; 512]));
+        self.allocated += 1;
+        addr
+    }
+
+    pub fn free_table(&mut self, addr: u64) {
+        let removed = self.frames.remove(&addr).is_some();
+        debug_assert!(removed, "double free of table frame {addr:#x}");
+        self.freed += 1;
+    }
+
+    pub fn read(&self, table: u64, idx: usize) -> u64 {
+        self.frames[&table][idx]
+    }
+
+    pub fn write(&mut self, table: u64, idx: usize, value: u64) {
+        self.frames.get_mut(&table).expect("live table")[idx] = value;
+    }
+
+    pub fn live_tables(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Outcome of `map`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapResult {
+    Ok,
+    AlreadyMapped,
+}
+
+/// Outcome of `unmap`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnmapResult {
+    Ok,
+    NotMapped,
+}
+
+/// The page table.
+pub struct PageTable {
+    pub mem: PhysMem,
+    root: u64,
+    reclaim: bool,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    pub fn new() -> PageTable {
+        let mut mem = PhysMem::new();
+        let root = mem.alloc_table();
+        PageTable {
+            mem,
+            root,
+            reclaim: true,
+        }
+    }
+
+    /// Toggle empty-directory reclamation (the Figure 12 ablation).
+    pub fn set_reclaim(&mut self, on: bool) {
+        self.reclaim = on;
+    }
+
+    /// Map the 4KiB page at `va` to `frame`.
+    pub fn map(&mut self, va: u64, frame: u64, writable: bool, user: bool) -> MapResult {
+        let idx = va_indices(va);
+        let mut table = self.root;
+        for level in 0..LEVELS - 1 {
+            let e = Pte(self.mem.read(table, idx[level]));
+            table = if e.is_present() {
+                e.frame()
+            } else {
+                let new = self.mem.alloc_table();
+                self.mem
+                    .write(table, idx[level], Pte::new(new, true, true).0);
+                new
+            };
+        }
+        let leaf = Pte(self.mem.read(table, idx[LEVELS - 1]));
+        if leaf.is_present() {
+            return MapResult::AlreadyMapped;
+        }
+        self.mem
+            .write(table, idx[LEVELS - 1], Pte::new(frame, writable, user).0);
+        MapResult::Ok
+    }
+
+    /// Unmap the page at `va`, reclaiming empty directories if enabled.
+    pub fn unmap(&mut self, va: u64) -> UnmapResult {
+        let idx = va_indices(va);
+        // Walk down, remembering the path.
+        let mut path = [(0u64, 0usize); LEVELS];
+        let mut table = self.root;
+        for level in 0..LEVELS {
+            path[level] = (table, idx[level]);
+            let e = Pte(self.mem.read(table, idx[level]));
+            if level == LEVELS - 1 {
+                if !e.is_present() {
+                    return UnmapResult::NotMapped;
+                }
+                self.mem.write(table, idx[level], 0);
+            } else {
+                if !e.is_present() {
+                    return UnmapResult::NotMapped;
+                }
+                table = e.frame();
+            }
+        }
+        if self.reclaim {
+            // Walk back up freeing empty directories (never the root).
+            for level in (1..LEVELS).rev() {
+                let (tbl, _) = path[level];
+                let empty = (0..ENTRIES_PER_TABLE as usize)
+                    .all(|i| !Pte(self.mem.read(tbl, i)).is_present());
+                if empty {
+                    let (parent, pidx) = path[level - 1];
+                    self.mem.write(parent, pidx, 0);
+                    self.mem.free_table(tbl);
+                } else {
+                    break;
+                }
+            }
+        }
+        UnmapResult::Ok
+    }
+
+    /// The MMU interpreter (the trusted hardware spec): translate a virtual
+    /// address by walking the live table memory.
+    pub fn translate(&self, va: u64) -> Option<u64> {
+        let idx = va_indices(va);
+        let mut table = self.root;
+        for level in 0..LEVELS - 1 {
+            let e = Pte(self.mem.read(table, idx[level]));
+            if !e.is_present() {
+                return None;
+            }
+            table = e.frame();
+        }
+        let leaf = Pte(self.mem.read(table, idx[LEVELS - 1]));
+        if !leaf.is_present() {
+            return None;
+        }
+        Some(leaf.frame() | (va & (PAGE_SIZE - 1)))
+    }
+
+    pub fn live_tables(&self) -> usize {
+        self.mem.live_tables()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_then_translate() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.map(0x4000_0000, 0x7000, true, false), MapResult::Ok);
+        assert_eq!(pt.translate(0x4000_0123), Some(0x7123));
+        assert_eq!(pt.translate(0x4000_1000), None);
+    }
+
+    #[test]
+    fn double_map_detected() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.map(0x1000, 0x7000, true, false), MapResult::Ok);
+        assert_eq!(
+            pt.map(0x1000, 0x8000, true, false),
+            MapResult::AlreadyMapped
+        );
+        assert_eq!(pt.translate(0x1000), Some(0x7000));
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut pt = PageTable::new();
+        pt.map(0x1000, 0x7000, true, false);
+        assert_eq!(pt.unmap(0x1000), UnmapResult::Ok);
+        assert_eq!(pt.translate(0x1000), None);
+        assert_eq!(pt.unmap(0x1000), UnmapResult::NotMapped);
+    }
+
+    #[test]
+    fn reclamation_frees_empty_directories() {
+        let mut pt = PageTable::new();
+        let baseline = pt.live_tables();
+        pt.map(0x1000, 0x7000, true, false);
+        assert!(pt.live_tables() > baseline);
+        pt.unmap(0x1000);
+        assert_eq!(pt.live_tables(), baseline, "directories reclaimed");
+    }
+
+    #[test]
+    fn no_reclaim_keeps_directories() {
+        let mut pt = PageTable::new();
+        pt.set_reclaim(false);
+        let baseline = pt.live_tables();
+        pt.map(0x1000, 0x7000, true, false);
+        pt.unmap(0x1000);
+        assert!(pt.live_tables() > baseline, "directories retained");
+    }
+
+    #[test]
+    fn distinct_vas_do_not_interfere() {
+        let mut pt = PageTable::new();
+        pt.map(0x0000_7F00_0000_1000, 0xA000, true, false);
+        pt.map(0x0000_0000_0000_1000, 0xB000, true, false);
+        assert_eq!(pt.translate(0x0000_7F00_0000_1000), Some(0xA000));
+        assert_eq!(pt.translate(0x1000), Some(0xB000));
+        pt.unmap(0x1000);
+        assert_eq!(pt.translate(0x0000_7F00_0000_1000), Some(0xA000));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_reference_map(
+            ops in proptest::collection::vec((0u64..64, 0u64..32, 0u8..2), 1..120)
+        ) {
+            // Reference: a plain HashMap from page VA to frame.
+            let mut pt = PageTable::new();
+            let mut reference: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for (page, frame, op) in ops {
+                let va = page << 12;
+                let pa = (frame + 1) << 12;
+                if op == 0 {
+                    let r = pt.map(va, pa, true, false);
+                    if reference.contains_key(&va) {
+                        proptest::prop_assert_eq!(r, MapResult::AlreadyMapped);
+                    } else {
+                        proptest::prop_assert_eq!(r, MapResult::Ok);
+                        reference.insert(va, pa);
+                    }
+                } else {
+                    let r = pt.unmap(va);
+                    if reference.remove(&va).is_some() {
+                        proptest::prop_assert_eq!(r, UnmapResult::Ok);
+                    } else {
+                        proptest::prop_assert_eq!(r, UnmapResult::NotMapped);
+                    }
+                }
+                // Every mapping translates correctly; nothing else does.
+                for (&v, &p) in &reference {
+                    proptest::prop_assert_eq!(pt.translate(v), Some(p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # veris-plog — the persistent log case study (paper §4.2.5)
+//!
+//! A crash-atomic, corruption-detecting circular log for byte-addressable
+//! persistent memory:
+//!
+//! - [`pmem`] — the persistent-memory model (flush boundaries, crash with
+//!   torn writes, bit-flip injection) plus from-scratch CRC-32/CRC-64;
+//! - [`log`] — the circular log: dual-header commit protocol, per-record
+//!   CRCs, head advancement; and `LockedLog`, the lock-based
+//!   libpmemlog-style baseline for Figure 14;
+//! - [`multilog`] — atomic appends across multiple logs;
+//! - [`model`] — refinement of an abstract infinite log with crash
+//!   atomicity, verified through the framework.
+
+pub mod log;
+pub mod model;
+pub mod multilog;
+pub mod pmem;
+
+pub use log::{LockedLog, LogError, PLog};
+pub use multilog::MultiLog;
+pub use pmem::{crc32, crc64, PMem};

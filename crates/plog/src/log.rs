@@ -1,0 +1,413 @@
+//! The persistent circular log (paper §4.2.5).
+//!
+//! Layout on the device:
+//! ```text
+//! [ header A | header B | data region ............................ ]
+//! ```
+//! Two header slots hold `(head, tail, generation, crc)`; an append writes
+//! data first, flushes, then commits by writing the *inactive* header slot
+//! with a higher generation and flushing again — so a crash at any point
+//! leaves one valid header describing a consistent prefix (crash
+//! atomicity). Every record carries a CRC-32 so media corruption is
+//! detected rather than returned (corruption-up-to-CRC).
+
+use crate::pmem::{crc32, PMem};
+
+const HEADER_SLOT_SIZE: usize = 32;
+const DATA_OFF: usize = 2 * HEADER_SLOT_SIZE;
+const RECORD_HEADER: usize = 12; // len: u64, crc: u32
+
+/// Errors surfaced by the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// Not enough free space for the record.
+    Full,
+    /// Both header slots failed their CRC (unrecoverable metadata).
+    CorruptHeaders,
+    /// A record failed its CRC (detected media corruption).
+    CorruptRecord { offset: u64 },
+    /// The requested record is outside the live window.
+    OutOfRange,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Header {
+    head: u64,
+    tail: u64,
+    generation: u64,
+}
+
+/// The persistent circular log.
+pub struct PLog {
+    pub mem: PMem,
+    hdr: Header,
+    capacity: u64,
+}
+
+impl PLog {
+    /// Format a fresh log over a device of `size` bytes.
+    pub fn format(mut mem: PMem) -> PLog {
+        let capacity = (mem.len() - DATA_OFF) as u64;
+        let hdr = Header {
+            head: 0,
+            tail: 0,
+            generation: 1,
+        };
+        write_header(&mut mem, 0, &hdr);
+        mem.flush();
+        PLog { mem, hdr, capacity }
+    }
+
+    /// Recover after a crash: pick the valid header with the highest
+    /// generation.
+    pub fn recover(mem: PMem) -> Result<PLog, LogError> {
+        let capacity = (mem.len() - DATA_OFF) as u64;
+        let a = read_header(&mem, 0);
+        let b = read_header(&mem, 1);
+        let hdr = match (a, b) {
+            (Some(a), Some(b)) => {
+                if a.generation >= b.generation {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return Err(LogError::CorruptHeaders),
+        };
+        Ok(PLog { mem, hdr, capacity })
+    }
+
+    pub fn head(&self) -> u64 {
+        self.hdr.head
+    }
+
+    pub fn tail(&self) -> u64 {
+        self.hdr.tail
+    }
+
+    /// Bytes of live data.
+    pub fn used(&self) -> u64 {
+        self.hdr.tail - self.hdr.head
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn data_write(&mut self, pos: u64, bytes: &[u8]) {
+        // Circular write, split at the wrap point.
+        let off = (pos % self.capacity) as usize;
+        let first = bytes.len().min(self.capacity as usize - off);
+        self.mem.write(DATA_OFF + off, &bytes[..first]);
+        if first < bytes.len() {
+            self.mem.write(DATA_OFF, &bytes[first..]);
+        }
+    }
+
+    fn data_read(&self, pos: u64, len: usize) -> Vec<u8> {
+        let off = (pos % self.capacity) as usize;
+        let first = len.min(self.capacity as usize - off);
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(self.mem.read(DATA_OFF + off, first));
+        if first < len {
+            out.extend_from_slice(self.mem.read(DATA_OFF, len - first));
+        }
+        out
+    }
+
+    /// Append a record; returns its log position. Crash-atomic: the record
+    /// is visible after recovery iff the commit header reached the device.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, LogError> {
+        let need = (RECORD_HEADER + payload.len()) as u64;
+        if self.used() + need > self.capacity {
+            return Err(LogError::Full);
+        }
+        let pos = self.hdr.tail;
+        // 1. Write the record (length, crc, payload) and flush.
+        let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        self.data_write(pos, &rec);
+        self.mem.flush();
+        // 2. Commit: write the inactive header slot with a new generation.
+        self.hdr.tail = pos + need;
+        self.hdr.generation += 1;
+        let slot = (self.hdr.generation % 2) as usize;
+        write_header(&mut self.mem, slot, &self.hdr);
+        self.mem.flush();
+        Ok(pos)
+    }
+
+    /// Read the record at `pos` (a value previously returned by `append`).
+    pub fn read(&self, pos: u64) -> Result<Vec<u8>, LogError> {
+        if pos < self.hdr.head || pos >= self.hdr.tail {
+            return Err(LogError::OutOfRange);
+        }
+        let hdr = self.data_read(pos, RECORD_HEADER);
+        let len = u64::from_le_bytes(hdr[0..8].try_into().expect("8 bytes")) as usize;
+        let crc = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
+        if pos + (RECORD_HEADER + len) as u64 > self.hdr.tail {
+            return Err(LogError::CorruptRecord { offset: pos });
+        }
+        let payload = self.data_read(pos + RECORD_HEADER as u64, len);
+        if crc32(&payload) != crc {
+            return Err(LogError::CorruptRecord { offset: pos });
+        }
+        Ok(payload)
+    }
+
+    /// Iterate over all live records (recovery-time scan).
+    pub fn iter_records(&self) -> Result<Vec<(u64, Vec<u8>)>, LogError> {
+        let mut out = Vec::new();
+        let mut pos = self.hdr.head;
+        while pos < self.hdr.tail {
+            let payload = self.read(pos)?;
+            let size = (RECORD_HEADER + payload.len()) as u64;
+            out.push((pos, payload));
+            pos += size;
+        }
+        Ok(out)
+    }
+
+    /// Advance the head (freeing space), synchronous per the paper's API.
+    pub fn advance_head(&mut self, new_head: u64) -> Result<(), LogError> {
+        if new_head < self.hdr.head || new_head > self.hdr.tail {
+            return Err(LogError::OutOfRange);
+        }
+        self.hdr.head = new_head;
+        self.hdr.generation += 1;
+        let slot = (self.hdr.generation % 2) as usize;
+        write_header(&mut self.mem, slot, &self.hdr);
+        self.mem.flush();
+        Ok(())
+    }
+}
+
+fn write_header(mem: &mut PMem, slot: usize, h: &Header) {
+    let mut buf = [0u8; HEADER_SLOT_SIZE];
+    buf[0..8].copy_from_slice(&h.head.to_le_bytes());
+    buf[8..16].copy_from_slice(&h.tail.to_le_bytes());
+    buf[16..24].copy_from_slice(&h.generation.to_le_bytes());
+    let crc = crc32(&buf[0..24]);
+    buf[24..28].copy_from_slice(&crc.to_le_bytes());
+    mem.write(slot * HEADER_SLOT_SIZE, &buf);
+}
+
+fn read_header(mem: &PMem, slot: usize) -> Option<Header> {
+    let buf = mem.read(slot * HEADER_SLOT_SIZE, HEADER_SLOT_SIZE);
+    let crc = u32::from_le_bytes(buf[24..28].try_into().ok()?);
+    if crc32(&buf[0..24]) != crc {
+        return None;
+    }
+    Some(Header {
+        head: u64::from_le_bytes(buf[0..8].try_into().ok()?),
+        tail: u64::from_le_bytes(buf[8..16].try_into().ok()?),
+        generation: u64::from_le_bytes(buf[16..24].try_into().ok()?),
+    })
+}
+
+/// The lock-based baseline standing in for `libpmemlog` (Figure 14's PMDK
+/// series): a mutex around every append, no CRCs.
+pub struct LockedLog {
+    inner: parking_lot::Mutex<PLog>,
+}
+
+impl LockedLog {
+    pub fn format(mem: PMem) -> LockedLog {
+        LockedLog {
+            inner: parking_lot::Mutex::new(PLog::format(mem)),
+        }
+    }
+
+    pub fn append(&self, payload: &[u8]) -> Result<u64, LogError> {
+        // Lock held across the whole append; no payload CRC (the PMDK
+        // behavior the paper contrasts with).
+        let mut log = self.inner.lock();
+        let need = (RECORD_HEADER + payload.len()) as u64;
+        if log.used() + need > log.capacity() {
+            return Err(LogError::Full);
+        }
+        let pos = log.hdr.tail;
+        let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        rec.extend_from_slice(payload);
+        log.data_write(pos, &rec);
+        log.mem.flush();
+        log.hdr.tail = pos + need;
+        log.hdr.generation += 1;
+        let slot = (log.hdr.generation % 2) as usize;
+        let hdr = log.hdr;
+        write_header(&mut log.mem, slot, &hdr);
+        log.mem.flush();
+        Ok(pos)
+    }
+
+    pub fn advance_head(&self, new_head: u64) -> Result<(), LogError> {
+        self.inner.lock().advance_head(new_head)
+    }
+
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used()
+    }
+
+    pub fn tail(&self) -> u64 {
+        self.inner.lock().tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(kib: usize) -> PLog {
+        PLog::format(PMem::new(kib * 1024))
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let mut l = log(4);
+        let p1 = l.append(b"hello").unwrap();
+        let p2 = l.append(b"world!").unwrap();
+        assert_eq!(l.read(p1).unwrap(), b"hello");
+        assert_eq!(l.read(p2).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn full_detected() {
+        let mut l = log(1);
+        let big = vec![0u8; 600];
+        assert!(l.append(&big).is_ok());
+        assert_eq!(l.append(&big), Err(LogError::Full));
+    }
+
+    #[test]
+    fn advance_head_frees_space() {
+        let mut l = log(1);
+        let big = vec![1u8; 600];
+        let p = l.append(&big).unwrap();
+        assert_eq!(l.append(&big), Err(LogError::Full));
+        let after = p + (RECORD_HEADER + 600) as u64;
+        l.advance_head(after).unwrap();
+        assert!(l.append(&big).is_ok(), "space reclaimed after head advance");
+    }
+
+    #[test]
+    fn wraparound_preserves_data() {
+        let mut l = log(1);
+        let chunk = vec![7u8; 200];
+        let mut positions = Vec::new();
+        for _ in 0..30 {
+            if l.used() + 300 > l.capacity() {
+                let (pos, payload) = l.iter_records().unwrap().remove(0);
+                let size = (RECORD_HEADER + payload.len()) as u64;
+                l.advance_head(pos + size).unwrap();
+            }
+            positions.push(l.append(&chunk).unwrap());
+        }
+        // Every live record still reads back.
+        for (_, payload) in l.iter_records().unwrap() {
+            assert_eq!(payload, chunk);
+        }
+    }
+
+    #[test]
+    fn committed_appends_survive_crash() {
+        let mut l = log(4);
+        l.append(b"one").unwrap();
+        l.append(b"two").unwrap();
+        l.mem.crash(None);
+        let l = PLog::recover(l.mem.clone()).unwrap();
+        let recs = l.iter_records().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].1, b"one");
+        assert_eq!(recs[1].1, b"two");
+    }
+
+    #[test]
+    fn uncommitted_append_invisible_after_crash() {
+        let mut l = log(4);
+        l.append(b"committed").unwrap();
+        // Start an append but crash before the header commit: simulate by
+        // writing data and crashing without the second flush.
+        let pos = l.hdr.tail;
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&(4u64).to_le_bytes());
+        rec.extend_from_slice(&crc32(b"lost").to_le_bytes());
+        rec.extend_from_slice(b"lost");
+        l.data_write(pos, &rec);
+        // No flush, no header write: crash.
+        l.mem.crash(Some(3)); // even with a torn partial persist
+        let l = PLog::recover(l.mem.clone()).unwrap();
+        let recs = l.iter_records().unwrap();
+        assert_eq!(recs.len(), 1, "uncommitted record is not visible");
+        assert_eq!(recs[0].1, b"committed");
+    }
+
+    #[test]
+    fn corruption_detected_not_returned() {
+        let mut l = log(4);
+        let p = l.append(&vec![0x5Au8; 512]).unwrap();
+        l.mem.flush();
+        // Flip persisted bits until the payload area is hit.
+        let mut seed = 1;
+        loop {
+            l.mem.corrupt(seed, 8);
+            match l.read(p) {
+                Err(LogError::CorruptRecord { .. }) => break,
+                Ok(_) => {
+                    seed += 1;
+                    if seed > 64 {
+                        panic!("corruption never hit the record");
+                    }
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_with_one_corrupt_header() {
+        let mut l = log(4);
+        l.append(b"data").unwrap();
+        // Corrupt header slot that is NOT the latest (slot for generation).
+        let dead_slot = ((l.hdr.generation + 1) % 2) as usize;
+        l.mem.write(dead_slot * HEADER_SLOT_SIZE, &[0xFF; 4]);
+        l.mem.flush();
+        let l2 = PLog::recover(l.mem.clone()).unwrap();
+        assert_eq!(l2.iter_records().unwrap().len(), 1);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_crash_anywhere_is_consistent(
+            appends in proptest::collection::vec(proptest::collection::vec(0u8..=255, 1..64), 1..12),
+            crash_after in 0usize..12,
+            tear in proptest::option::of(0usize..16),
+        ) {
+            // Append a prefix, crash (possibly tearing), recover: the log
+            // must contain exactly the records committed before the crash,
+            // each intact.
+            let mut l = log(8);
+            let mut committed = Vec::new();
+            for (i, payload) in appends.iter().enumerate() {
+                if i == crash_after {
+                    break;
+                }
+                l.append(payload).unwrap();
+                committed.push(payload.clone());
+            }
+            l.mem.crash(tear);
+            let l = PLog::recover(l.mem.clone()).unwrap();
+            let recs = l.iter_records().unwrap();
+            proptest::prop_assert_eq!(recs.len(), committed.len());
+            for ((_, got), want) in recs.iter().zip(&committed) {
+                proptest::prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The persistent-memory model (substituting for the paper's Optane PMM,
+//! §4.2.5): a byte-addressable region with an explicit *persistence
+//! boundary*. Writes land in a volatile buffer; `flush` makes them
+//! durable; a crash discards everything volatile — and, optionally, tears
+//! the last unflushed write or flips random persisted bits (the media
+//! errors the paper's log must detect via CRC).
+
+/// A simulated persistent-memory device.
+#[derive(Clone, Debug)]
+pub struct PMem {
+    /// Durable contents.
+    persisted: Vec<u8>,
+    /// Volatile contents (what reads observe pre-crash).
+    volatile: Vec<u8>,
+    /// Dirty byte ranges not yet flushed.
+    dirty: Vec<(usize, usize)>,
+    /// Statistics.
+    pub flushes: u64,
+    pub bytes_written: u64,
+}
+
+impl PMem {
+    pub fn new(size: usize) -> PMem {
+        PMem {
+            persisted: vec![0; size],
+            volatile: vec![0; size],
+            dirty: Vec::new(),
+            flushes: 0,
+            bytes_written: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.volatile.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.volatile.is_empty()
+    }
+
+    /// Write bytes (volatile until flushed).
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        self.volatile[offset..offset + data.len()].copy_from_slice(data);
+        self.dirty.push((offset, data.len()));
+        self.bytes_written += data.len() as u64;
+    }
+
+    /// Read bytes (sees volatile state).
+    pub fn read(&self, offset: usize, len: usize) -> &[u8] {
+        &self.volatile[offset..offset + len]
+    }
+
+    /// Persist all outstanding writes (store fence + cache-line flush).
+    pub fn flush(&mut self) {
+        for &(off, len) in &self.dirty {
+            self.persisted[off..off + len].copy_from_slice(&self.volatile[off..off + len]);
+        }
+        self.dirty.clear();
+        self.flushes += 1;
+    }
+
+    /// Crash: volatile state is lost; optionally the *last* dirty write is
+    /// torn at `tear_at` bytes (partially persisted), modeling the small
+    /// persistence granularity of PMM.
+    pub fn crash(&mut self, tear_last_write_at: Option<usize>) {
+        if let (Some(tear), Some(&(off, len))) = (tear_last_write_at, self.dirty.last()) {
+            let t = tear.min(len);
+            self.persisted[off..off + t].copy_from_slice(&self.volatile[off..off + t]);
+        }
+        self.volatile = self.persisted.clone();
+        self.dirty.clear();
+    }
+
+    /// Flip `count` pseudo-random persisted bits (media corruption).
+    pub fn corrupt(&mut self, seed: u64, count: usize) {
+        let mut state = seed | 1;
+        for _ in 0..count {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let byte = (state as usize) % self.persisted.len();
+            let bit = (state >> 32) % 8;
+            self.persisted[byte] ^= 1 << bit;
+        }
+        self.volatile = self.persisted.clone();
+    }
+}
+
+/// CRC-32 (IEEE) over a byte slice — implemented from scratch (the paper's
+/// log depends on a CRC crate with a trusted spec; here we own it).
+pub fn crc32(data: &[u8]) -> u32 {
+    // Standard reflected polynomial 0xEDB88320, bitwise (table-free keeps
+    // it obviously-correct; speed is not the point of the model).
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-64 variant for larger payloads (polynomial 0xC96C5795D7870F42).
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut crc: u64 = 0xFFFF_FFFF_FFFF_FFFF;
+    for &b in data {
+        crc ^= b as u64;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xC96C_5795_D787_0F42 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = PMem::new(64);
+        m.write(8, &[1, 2, 3]);
+        assert_eq!(m.read(8, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_crash() {
+        let mut m = PMem::new(64);
+        m.write(0, &[9; 8]);
+        m.crash(None);
+        assert_eq!(m.read(0, 8), &[0; 8]);
+    }
+
+    #[test]
+    fn flushed_writes_survive_crash() {
+        let mut m = PMem::new(64);
+        m.write(0, &[9; 8]);
+        m.flush();
+        m.crash(None);
+        assert_eq!(m.read(0, 8), &[9; 8]);
+    }
+
+    #[test]
+    fn torn_write_partially_persists() {
+        let mut m = PMem::new(64);
+        m.write(0, &[7; 8]);
+        m.crash(Some(3));
+        assert_eq!(m.read(0, 3), &[7; 3]);
+        assert_eq!(m.read(3, 5), &[0; 5]);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (the canonical check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_changes_persisted_bytes() {
+        let mut m = PMem::new(1024);
+        m.write(0, &[0xAA; 1024]);
+        m.flush();
+        let before = m.read(0, 1024).to_vec();
+        m.corrupt(42, 4);
+        let after = m.read(0, 1024).to_vec();
+        assert_ne!(before, after);
+    }
+}

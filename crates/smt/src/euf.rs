@@ -1,0 +1,397 @@
+//! Congruence closure for equality and uninterpreted functions, with
+//! conflict explanations (Nieuwenhuis–Oliveras proof-forest style).
+//!
+//! The engine is deliberately decoupled from [`crate::term::TermStore`]: the
+//! SMT layer registers nodes with an opaque `tag` (operator identity) and
+//! child list, then asserts equalities/disequalities labeled with the SAT
+//! literal that caused them. On conflict, `explain` yields the set of
+//! responsible literals, which the solver negates into a learned clause.
+
+use std::collections::HashMap;
+
+use crate::sat::Lit;
+
+/// Node in the e-graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// Why two nodes were merged.
+#[derive(Clone, Copy, Debug)]
+enum Reason {
+    /// An asserted (dis)equality literal.
+    Literal(Lit),
+    /// Congruence between two compound nodes (their children were equal).
+    Congruence(NodeId, NodeId),
+}
+
+/// A theory conflict: the conjunction of these literals is EUF-unsat.
+#[derive(Clone, Debug)]
+pub struct EufConflict {
+    pub lits: Vec<Lit>,
+}
+
+struct Node {
+    tag: u64,
+    children: Vec<NodeId>,
+}
+
+/// Congruence closure engine.
+pub struct Euf {
+    nodes: Vec<Node>,
+    /// Union-find parent; roots point to themselves.
+    uf: Vec<NodeId>,
+    rank: Vec<u32>,
+    /// Proof forest: edge toward the merge partner with its reason.
+    pf_parent: Vec<Option<(NodeId, Reason)>>,
+    /// For roots: compound nodes with a child in this class.
+    use_list: Vec<Vec<NodeId>>,
+    /// Signature table: (tag, child roots) -> representative compound node.
+    sig_table: HashMap<(u64, Vec<NodeId>), NodeId>,
+    /// Disequalities: (a, b, literal).
+    diseqs: Vec<(NodeId, NodeId, Lit)>,
+    pending: Vec<(NodeId, NodeId, Reason)>,
+}
+
+impl Default for Euf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Euf {
+    pub fn new() -> Euf {
+        Euf {
+            nodes: Vec::new(),
+            uf: Vec::new(),
+            rank: Vec::new(),
+            pf_parent: Vec::new(),
+            use_list: Vec::new(),
+            sig_table: HashMap::new(),
+            diseqs: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Register a node. `tag` identifies the operator (two nodes are
+    /// congruent when tags and child classes match); leaves use a unique tag
+    /// per leaf and empty children.
+    pub fn add_node(&mut self, tag: u64, children: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            tag,
+            children: children.clone(),
+        });
+        self.uf.push(id);
+        self.rank.push(0);
+        self.pf_parent.push(None);
+        self.use_list.push(Vec::new());
+        if !children.is_empty() {
+            for &c in &children {
+                let rc = self.find(c);
+                self.use_list[rc.0 as usize].push(id);
+            }
+            let sig = self.signature(id);
+            if let Some(&other) = self.sig_table.get(&sig) {
+                if self.find(other) != self.find(id) {
+                    self.pending
+                        .push((id, other, Reason::Congruence(id, other)));
+                }
+            } else {
+                self.sig_table.insert(sig, id);
+            }
+        }
+        id
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn signature(&mut self, n: NodeId) -> (u64, Vec<NodeId>) {
+        let children = self.nodes[n.0 as usize].children.clone();
+        let roots = children.iter().map(|&c| self.find(c)).collect();
+        (self.nodes[n.0 as usize].tag, roots)
+    }
+
+    /// Find with path compression. (Path compression is safe alongside the
+    /// proof forest because explanations use `pf_parent`, not `uf`.)
+    pub fn find(&mut self, n: NodeId) -> NodeId {
+        let p = self.uf[n.0 as usize];
+        if p == n {
+            return n;
+        }
+        let root = self.find(p);
+        self.uf[n.0 as usize] = root;
+        root
+    }
+
+    pub fn same_class(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    pub fn assert_eq(&mut self, a: NodeId, b: NodeId, lit: Lit) {
+        self.pending.push((a, b, Reason::Literal(lit)));
+    }
+
+    pub fn assert_neq(&mut self, a: NodeId, b: NodeId, lit: Lit) {
+        self.diseqs.push((a, b, lit));
+    }
+
+    /// Process pending merges; returns a conflict if the closure is
+    /// inconsistent with an asserted disequality.
+    pub fn propagate(&mut self) -> Result<(), EufConflict> {
+        while let Some((a, b, reason)) = self.pending.pop() {
+            self.merge(a, b, reason);
+        }
+        // Check disequalities.
+        for i in 0..self.diseqs.len() {
+            let (a, b, lit) = self.diseqs[i];
+            if self.find(a) == self.find(b) {
+                let mut lits = self.explain(a, b);
+                lits.push(lit);
+                lits.sort_unstable();
+                lits.dedup();
+                return Err(EufConflict { lits });
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, a: NodeId, b: NodeId, reason: Reason) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Add the proof-forest edge a -> b by reversing the path from `a` to
+        // its proof root, then hanging it under `b`'s tree.
+        self.pf_reroot(a);
+        self.pf_parent[a.0 as usize] = Some((b, reason));
+
+        // Union by rank; keep the smaller use list to re-process.
+        let (keep, lose) = if self.rank[ra.0 as usize] >= self.rank[rb.0 as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if self.rank[keep.0 as usize] == self.rank[lose.0 as usize] {
+            self.rank[keep.0 as usize] += 1;
+        }
+        self.uf[lose.0 as usize] = keep;
+        // Re-hash compound nodes that used the losing class.
+        let uses = std::mem::take(&mut self.use_list[lose.0 as usize]);
+        for u in uses {
+            let sig = self.signature(u);
+            if let Some(&other) = self.sig_table.get(&sig) {
+                if self.find(other) != self.find(u) {
+                    self.pending.push((u, other, Reason::Congruence(u, other)));
+                }
+            } else {
+                self.sig_table.insert(sig, u);
+            }
+            self.use_list[keep.0 as usize].push(u);
+        }
+    }
+
+    /// Reverse proof-forest edges along the path from `n` to its proof root,
+    /// making `n` the root of its proof tree.
+    fn pf_reroot(&mut self, n: NodeId) {
+        let mut prev: Option<(NodeId, Reason)> = None;
+        let mut cur = n;
+        loop {
+            let next = self.pf_parent[cur.0 as usize];
+            self.pf_parent[cur.0 as usize] = prev;
+            match next {
+                None => break,
+                Some((p, r)) => {
+                    prev = Some((cur, r));
+                    cur = p;
+                }
+            }
+        }
+    }
+
+    /// Explain why `a == b` holds: the set of asserted equality literals.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not in the same class.
+    pub fn explain(&mut self, a: NodeId, b: NodeId) -> Vec<Lit> {
+        debug_assert!(self.find(a) == self.find(b));
+        let mut out = Vec::new();
+        let mut queue = vec![(a, b)];
+        let mut guard = 0usize;
+        while let Some((x, y)) = queue.pop() {
+            guard += 1;
+            debug_assert!(guard < 1_000_000, "explanation loop");
+            if x == y {
+                continue;
+            }
+            // Walk both to the common ancestor in the proof forest.
+            let (px, py) = (self.pf_path(x), self.pf_path(y));
+            // Find lowest common node.
+            let set: std::collections::HashSet<NodeId> = px.iter().map(|&(n, _)| n).collect();
+            let mut common = None;
+            for &(n, _) in &py {
+                if set.contains(&n) {
+                    common = Some(n);
+                    break;
+                }
+            }
+            let common = common.expect("common proof ancestor");
+            for path in [&px, &py] {
+                for &(n, reason) in path {
+                    if n == common {
+                        break;
+                    }
+                    match reason {
+                        Some(Reason::Literal(l)) => out.push(l),
+                        Some(Reason::Congruence(u, v)) => {
+                            let cu = self.nodes[u.0 as usize].children.clone();
+                            let cv = self.nodes[v.0 as usize].children.clone();
+                            for (cx, cy) in cu.into_iter().zip(cv) {
+                                queue.push((cx, cy));
+                            }
+                        }
+                        None => unreachable!("path nodes below common have reasons"),
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Nodes on the path from `n` to its proof root, with the reason of the
+    /// edge *leaving* each node (None at the root).
+    fn pf_path(&self, n: NodeId) -> Vec<(NodeId, Option<Reason>)> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        loop {
+            match self.pf_parent[cur.0 as usize] {
+                None => {
+                    out.push((cur, None));
+                    break;
+                }
+                Some((p, r)) => {
+                    out.push((cur, Some(r)));
+                    cur = p;
+                }
+            }
+        }
+        out
+    }
+
+    /// All current classes as (root, members) — used for model construction
+    /// and model-based theory combination.
+    pub fn classes(&mut self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for i in 0..self.nodes.len() {
+            let n = NodeId(i as u32);
+            let r = self.find(n);
+            map.entry(r).or_default().push(n);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: u32) -> Lit {
+        Lit(n)
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut e = Euf::new();
+        let a = e.add_node(1, vec![]);
+        let b = e.add_node(2, vec![]);
+        let c = e.add_node(3, vec![]);
+        e.assert_eq(a, b, lit(0));
+        e.assert_eq(b, c, lit(2));
+        assert!(e.propagate().is_ok());
+        assert!(e.same_class(a, c));
+        let expl = e.explain(a, c);
+        assert_eq!(expl, vec![lit(0), lit(2)]);
+    }
+
+    #[test]
+    fn congruence_fx_fy() {
+        let mut e = Euf::new();
+        let x = e.add_node(1, vec![]);
+        let y = e.add_node(2, vec![]);
+        let fx = e.add_node(100, vec![x]);
+        let fy = e.add_node(100, vec![y]);
+        assert!(!e.same_class(fx, fy));
+        e.assert_eq(x, y, lit(0));
+        assert!(e.propagate().is_ok());
+        assert!(e.same_class(fx, fy));
+        let expl = e.explain(fx, fy);
+        assert_eq!(expl, vec![lit(0)]);
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // x = y  =>  g(f(x)) = g(f(y))
+        let mut e = Euf::new();
+        let x = e.add_node(1, vec![]);
+        let y = e.add_node(2, vec![]);
+        let fx = e.add_node(100, vec![x]);
+        let fy = e.add_node(100, vec![y]);
+        let gfx = e.add_node(101, vec![fx]);
+        let gfy = e.add_node(101, vec![fy]);
+        e.assert_eq(x, y, lit(4));
+        assert!(e.propagate().is_ok());
+        assert!(e.same_class(gfx, gfy));
+        assert_eq!(e.explain(gfx, gfy), vec![lit(4)]);
+    }
+
+    #[test]
+    fn diseq_conflict() {
+        let mut e = Euf::new();
+        let a = e.add_node(1, vec![]);
+        let b = e.add_node(2, vec![]);
+        let c = e.add_node(3, vec![]);
+        e.assert_neq(a, c, lit(10));
+        e.assert_eq(a, b, lit(0));
+        e.assert_eq(b, c, lit(2));
+        let conflict = e.propagate().unwrap_err();
+        assert_eq!(conflict.lits, vec![lit(0), lit(2), lit(10)]);
+    }
+
+    #[test]
+    fn congruence_added_late() {
+        // Nodes registered after the equality is asserted still congruence-close.
+        let mut e = Euf::new();
+        let x = e.add_node(1, vec![]);
+        let y = e.add_node(2, vec![]);
+        e.assert_eq(x, y, lit(0));
+        assert!(e.propagate().is_ok());
+        let fx = e.add_node(100, vec![x]);
+        let fy = e.add_node(100, vec![y]);
+        assert!(e.propagate().is_ok());
+        assert!(e.same_class(fx, fy));
+    }
+
+    #[test]
+    fn two_arg_congruence_partial() {
+        // f(x, a) vs f(y, b): needs both x=y and a=b.
+        let mut e = Euf::new();
+        let x = e.add_node(1, vec![]);
+        let y = e.add_node(2, vec![]);
+        let a = e.add_node(3, vec![]);
+        let b = e.add_node(4, vec![]);
+        let fxa = e.add_node(100, vec![x, a]);
+        let fyb = e.add_node(100, vec![y, b]);
+        e.assert_eq(x, y, lit(0));
+        assert!(e.propagate().is_ok());
+        assert!(!e.same_class(fxa, fyb));
+        e.assert_eq(a, b, lit(2));
+        assert!(e.propagate().is_ok());
+        assert!(e.same_class(fxa, fyb));
+        let expl = e.explain(fxa, fyb);
+        assert_eq!(expl, vec![lit(0), lit(2)]);
+    }
+}

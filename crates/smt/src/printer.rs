@@ -1,0 +1,146 @@
+//! SMT-LIB 2 rendering of asserted formulas.
+//!
+//! Used for debugging and for the "SMT query size" metric the paper's
+//! Figure 9 reports (`SMT (MB)` — total bytes of solver input).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::term::{Sort, SortId, TermId, TermKind, TermStore};
+
+/// Render `asserted` as an SMT-LIB 2 script (declarations + assertions).
+pub fn print_smtlib(store: &TermStore, asserted: &[TermId]) -> String {
+    let mut out = String::new();
+    out.push_str("(set-logic ALL)\n");
+    let mut seen_terms = HashSet::new();
+    let mut decl_sorts: Vec<SortId> = Vec::new();
+    let mut decl_vars: Vec<TermId> = Vec::new();
+    let mut decl_funcs: Vec<crate::term::FuncId> = Vec::new();
+    for &t in asserted {
+        collect(
+            store,
+            t,
+            &mut seen_terms,
+            &mut decl_sorts,
+            &mut decl_vars,
+            &mut decl_funcs,
+        );
+    }
+    for s in decl_sorts {
+        if let Sort::Uninterp(sym) = store.sort_data(s) {
+            let _ = writeln!(out, "(declare-sort {} 0)", store.sym_name(*sym));
+        }
+    }
+    for v in decl_vars {
+        if let TermKind::Var(sym, sort) = store.kind(v) {
+            let _ = writeln!(
+                out,
+                "(declare-const {} {})",
+                store.sym_name(*sym),
+                sort_name(store, *sort)
+            );
+        }
+    }
+    for f in decl_funcs {
+        let decl = store.func(f);
+        let args: Vec<String> = decl.args.iter().map(|&s| sort_name(store, s)).collect();
+        let _ = writeln!(
+            out,
+            "(declare-fun {} ({}) {})",
+            store.sym_name(decl.name),
+            args.join(" "),
+            sort_name(store, decl.ret)
+        );
+    }
+    for &t in asserted {
+        let _ = writeln!(out, "(assert {})", store.display(t));
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+fn sort_name(store: &TermStore, s: SortId) -> String {
+    match store.sort_data(s) {
+        Sort::Bool => "Bool".into(),
+        Sort::Int => "Int".into(),
+        Sort::BitVec(w) => format!("(_ BitVec {w})"),
+        Sort::Uninterp(sym) => store.sym_name(*sym).into(),
+        Sort::Datatype(dt) => store.sym_name(store.datatype(*dt).name).into(),
+    }
+}
+
+fn collect(
+    store: &TermStore,
+    t: TermId,
+    seen: &mut HashSet<TermId>,
+    sorts: &mut Vec<SortId>,
+    vars: &mut Vec<TermId>,
+    funcs: &mut Vec<crate::term::FuncId>,
+) {
+    if !seen.insert(t) {
+        return;
+    }
+    let sort = store.sort_of(t);
+    if matches!(store.sort_data(sort), Sort::Uninterp(_)) && !sorts.contains(&sort) {
+        sorts.push(sort);
+    }
+    match store.kind(t) {
+        TermKind::Var(..) => {
+            if !vars.contains(&t) {
+                vars.push(t);
+            }
+        }
+        TermKind::App(f, _) => {
+            if !funcs.contains(f) {
+                funcs.push(*f);
+            }
+        }
+        _ => {}
+    }
+    for c in store.children(t) {
+        collect(store, c, seen, sorts, vars, funcs);
+    }
+    if let TermKind::Quantifier(q) = store.kind(t) {
+        for grp in &q.triggers {
+            for &p in grp {
+                collect(store, p, seen, sorts, vars, funcs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_declarations_and_asserts() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let x = s.mk_var("x", int);
+        let f = s.declare_fun("f", vec![int], int);
+        let fx = s.mk_app(f, vec![x]);
+        let zero = s.mk_int(0);
+        let le = s.mk_le(fx, zero);
+        let text = print_smtlib(&s, &[le]);
+        assert!(text.contains("(declare-const x Int)"));
+        assert!(text.contains("(declare-fun f (Int) Int)"));
+        assert!(text.contains("(assert"));
+        assert!(text.contains("(check-sat)"));
+    }
+
+    #[test]
+    fn query_size_grows_with_assertions() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let mut asserted = Vec::new();
+        for i in 0..10 {
+            let x = s.mk_var(&format!("x{i}"), int);
+            let zero = s.mk_int(0);
+            asserted.push(s.mk_le(zero, x));
+        }
+        let small = print_smtlib(&s, &asserted[..2]).len();
+        let big = print_smtlib(&s, &asserted).len();
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,507 @@
+//! Quantifier instantiation: trigger inference and e-matching.
+//!
+//! Two trigger-selection policies model the design axis the paper's §3.1
+//! describes: [`TriggerPolicy::Minimal`] (Verus-style — as few triggers as
+//! possible, better scaling) and [`TriggerPolicy::Broad`] (Dafny-style —
+//! every candidate subterm, more instantiations, more solver work).
+
+use std::collections::HashMap;
+
+use crate::term::{Quant, SortId, TermId, TermKind, TermStore};
+
+/// Trigger-selection policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TriggerPolicy {
+    /// Fewest trigger groups that cover all bound variables.
+    Minimal,
+    /// Every covering candidate becomes its own trigger group.
+    Broad,
+}
+
+/// Collect candidate trigger subterms of `body`: applications (and other
+/// matchable shapes) that mention at least one bound variable and are not
+/// themselves a bare bound variable.
+fn candidates(store: &TermStore, body: TermId, out: &mut Vec<TermId>) {
+    let matchable = matches!(
+        store.kind(body),
+        TermKind::App(..)
+            | TermKind::DtSel(..)
+            | TermKind::DtCtor(..)
+            | TermKind::DtTest(..)
+            | TermKind::IntDiv(..)
+            | TermKind::IntMod(..)
+    );
+    if matchable && store.has_bound_var(body) && !out.contains(&body) {
+        out.push(body);
+    }
+    for c in store.children(body) {
+        candidates(store, c, out);
+    }
+}
+
+fn bound_vars_of(store: &TermStore, t: TermId, acc: &mut Vec<u32>) {
+    if let TermKind::Bound(bv) = store.kind(t) {
+        if !acc.contains(&bv.index) {
+            acc.push(bv.index);
+        }
+    }
+    for c in store.children(t) {
+        bound_vars_of(store, c, acc);
+    }
+}
+
+fn term_size(store: &TermStore, t: TermId) -> usize {
+    1 + store
+        .children(t)
+        .into_iter()
+        .map(|c| term_size(store, c))
+        .sum::<usize>()
+}
+
+/// Infer trigger groups for a quantifier over `vars` with the given body.
+///
+/// Every returned group covers all bound variables. Returns an empty vec if
+/// no covering set exists (the quantifier is then un-instantiable by
+/// e-matching).
+pub fn infer_triggers(
+    store: &TermStore,
+    vars: &[(u32, SortId)],
+    body: TermId,
+    policy: TriggerPolicy,
+) -> Vec<Vec<TermId>> {
+    let mut cands = Vec::new();
+    candidates(store, body, &mut cands);
+    // Drop candidates that are strictly contained in another candidate with
+    // the same variable coverage? Keep simple: no.
+    let var_set: Vec<u32> = vars.iter().map(|&(i, _)| i).collect();
+    let covers = |t: TermId| -> Vec<u32> {
+        let mut vs = Vec::new();
+        bound_vars_of(store, t, &mut vs);
+        vs.retain(|v| var_set.contains(v));
+        vs
+    };
+    let full: Vec<TermId> = cands
+        .iter()
+        .copied()
+        .filter(|&t| covers(t).len() == var_set.len())
+        .collect();
+    match policy {
+        TriggerPolicy::Broad => {
+            let mut groups: Vec<Vec<TermId>> = full.iter().map(|&t| vec![t]).collect();
+            if groups.is_empty() {
+                if let Some(g) = cover_greedy(store, &cands, &var_set, &covers) {
+                    groups.push(g);
+                }
+            }
+            groups
+        }
+        TriggerPolicy::Minimal => {
+            if let Some(&best) = full.iter().min_by_key(|&&t| (term_size(store, t), t.0)) {
+                vec![vec![best]]
+            } else if let Some(g) = cover_greedy(store, &cands, &var_set, &covers) {
+                vec![g]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+/// Greedy multi-pattern cover: pick candidates until all vars are covered.
+fn cover_greedy(
+    store: &TermStore,
+    cands: &[TermId],
+    var_set: &[u32],
+    covers: &dyn Fn(TermId) -> Vec<u32>,
+) -> Option<Vec<TermId>> {
+    let mut remaining: Vec<u32> = var_set.to_vec();
+    let mut group = Vec::new();
+    while !remaining.is_empty() {
+        let best = cands
+            .iter()
+            .copied()
+            .filter(|&t| !group.contains(&t))
+            .max_by_key(|&t| {
+                let cov = covers(t);
+                let gain = cov.iter().filter(|v| remaining.contains(v)).count();
+                (gain, usize::MAX - term_size(store, t))
+            })?;
+        let cov = covers(best);
+        let gain = cov.iter().filter(|v| remaining.contains(v)).count();
+        if gain == 0 {
+            return None;
+        }
+        remaining.retain(|v| !cov.contains(v));
+        group.push(best);
+    }
+    Some(group)
+}
+
+/// Equivalence classes over ground terms (from equalities true in the
+/// current boolean model). E-matching descends *modulo* these classes, the
+/// key to proofs that rewrite through definitional equalities (e.g.
+/// `index(view(l), i)` matching `index(concat(a, b), j)` once
+/// `view(l) = concat(...)` is known).
+#[derive(Default)]
+pub struct ClassIndex {
+    parent: HashMap<TermId, TermId>,
+    members: HashMap<TermId, Vec<TermId>>,
+}
+
+impl ClassIndex {
+    pub fn new() -> ClassIndex {
+        ClassIndex::default()
+    }
+
+    pub fn find(&self, mut t: TermId) -> TermId {
+        while let Some(&p) = self.parent.get(&t) {
+            if p == t {
+                break;
+            }
+            t = p;
+        }
+        t
+    }
+
+    pub fn union(&mut self, a: TermId, b: TermId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        self.parent.insert(ra, rb);
+        self.parent.entry(rb).or_insert(rb);
+        let ma = self.members.remove(&ra).unwrap_or_else(|| vec![ra]);
+        let mb = self.members.entry(rb).or_insert_with(|| vec![rb]);
+        for t in ma {
+            if !mb.contains(&t) {
+                mb.push(t);
+            }
+        }
+    }
+
+    /// Members of `t`'s class (always contains `t` itself).
+    pub fn members_of(&self, t: TermId) -> Vec<TermId> {
+        let r = self.find(t);
+        match self.members.get(&r) {
+            Some(m) => {
+                let mut v = m.clone();
+                if !v.contains(&t) {
+                    v.push(t);
+                }
+                v
+            }
+            None => vec![t],
+        }
+    }
+}
+
+/// Cap on how many class members are tried per pattern position.
+const CLASS_FANOUT: usize = 8;
+
+/// Pattern match of `pat` (may contain bound vars) against ground term
+/// `ground`, modulo `classes`, extending `binding`.
+pub fn match_pattern(
+    store: &TermStore,
+    classes: &ClassIndex,
+    pat: TermId,
+    ground: TermId,
+    binding: &mut Vec<(u32, TermId)>,
+) -> bool {
+    if let TermKind::Bound(bv) = store.kind(pat) {
+        if store.sort_of(ground) != bv.sort {
+            return false;
+        }
+        return match binding.iter().find(|&&(i, _)| i == bv.index) {
+            Some(&(_, t)) => t == ground || classes.find(t) == classes.find(ground),
+            None => {
+                binding.push((bv.index, ground));
+                true
+            }
+        };
+    }
+    // Try the ground term itself first, then other members of its class.
+    let save = binding.len();
+    if match_pattern_syntactic(store, classes, pat, ground, binding) {
+        return true;
+    }
+    binding.truncate(save);
+    for (i, m) in classes.members_of(ground).into_iter().enumerate() {
+        if i > CLASS_FANOUT {
+            break;
+        }
+        if m == ground {
+            continue;
+        }
+        if match_pattern_syntactic(store, classes, pat, m, binding) {
+            return true;
+        }
+        binding.truncate(save);
+    }
+    false
+}
+
+fn match_pattern_syntactic(
+    store: &TermStore,
+    classes: &ClassIndex,
+    pat: TermId,
+    ground: TermId,
+    binding: &mut Vec<(u32, TermId)>,
+) -> bool {
+    match store.kind(pat) {
+        TermKind::Bound(_) => match_pattern(store, classes, pat, ground, binding),
+        TermKind::App(f, args) => match store.kind(ground) {
+            TermKind::App(g, gargs) if f == g && args.len() == gargs.len() => {
+                let (args, gargs) = (args.clone(), gargs.clone());
+                args.iter()
+                    .zip(gargs.iter())
+                    .all(|(&p, &g)| match_pattern(store, classes, p, g, binding))
+            }
+            _ => false,
+        },
+        TermKind::DtSel(dt, c, f, a) => match store.kind(ground) {
+            TermKind::DtSel(dt2, c2, f2, a2) if dt == dt2 && c == c2 && f == f2 => {
+                let (a, a2) = (*a, *a2);
+                match_pattern(store, classes, a, a2, binding)
+            }
+            _ => false,
+        },
+        TermKind::DtCtor(dt, c, args) => match store.kind(ground) {
+            TermKind::DtCtor(dt2, c2, gargs) if dt == dt2 && c == c2 => {
+                let (args, gargs) = (args.clone(), gargs.clone());
+                args.iter()
+                    .zip(gargs.iter())
+                    .all(|(&p, &g)| match_pattern(store, classes, p, g, binding))
+            }
+            _ => false,
+        },
+        TermKind::DtTest(dt, c, a) => match store.kind(ground) {
+            TermKind::DtTest(dt2, c2, a2) if dt == dt2 && c == c2 => {
+                let (a, a2) = (*a, *a2);
+                match_pattern(store, classes, a, a2, binding)
+            }
+            _ => false,
+        },
+        TermKind::IntDiv(a, b) => match store.kind(ground) {
+            TermKind::IntDiv(c, d) => {
+                let (a, b, c, d) = (*a, *b, *c, *d);
+                match_pattern(store, classes, a, c, binding)
+                    && match_pattern(store, classes, b, d, binding)
+            }
+            _ => false,
+        },
+        TermKind::IntMod(a, b) => match store.kind(ground) {
+            TermKind::IntMod(c, d) => {
+                let (a, b, c, d) = (*a, *b, *c, *d);
+                match_pattern(store, classes, a, c, binding)
+                    && match_pattern(store, classes, b, d, binding)
+            }
+            _ => false,
+        },
+        _ => pat == ground && !store.has_bound_var(pat),
+    }
+}
+
+/// The head function symbol of a pattern, used to index ground terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PatternHead {
+    Func(crate::term::FuncId),
+    DtSel(crate::term::DatatypeId, u32, u32),
+    DtCtor(crate::term::DatatypeId, u32),
+    DtTest(crate::term::DatatypeId, u32),
+    IntDiv,
+    IntMod,
+}
+
+pub fn pattern_head(store: &TermStore, t: TermId) -> Option<PatternHead> {
+    match store.kind(t) {
+        TermKind::App(f, _) => Some(PatternHead::Func(*f)),
+        TermKind::DtSel(dt, c, f, _) => Some(PatternHead::DtSel(*dt, *c, *f)),
+        TermKind::DtCtor(dt, c, _) => Some(PatternHead::DtCtor(*dt, *c)),
+        TermKind::DtTest(dt, c, _) => Some(PatternHead::DtTest(*dt, *c)),
+        TermKind::IntDiv(..) => Some(PatternHead::IntDiv),
+        TermKind::IntMod(..) => Some(PatternHead::IntMod),
+        _ => None,
+    }
+}
+
+/// Enumerate all complete bindings of `quant` against the ground term index.
+/// `ground_index` maps pattern heads to ground terms with that head.
+pub fn enumerate_matches(
+    store: &TermStore,
+    classes: &ClassIndex,
+    quant: &Quant,
+    ground_index: &HashMap<PatternHead, Vec<TermId>>,
+    limit: usize,
+) -> Vec<Vec<(u32, TermId)>> {
+    let mut out: Vec<Vec<(u32, TermId)>> = Vec::new();
+    for group in &quant.triggers {
+        let mut partial: Vec<Vec<(u32, TermId)>> = vec![vec![]];
+        for &pat in group {
+            let head = match pattern_head(store, pat) {
+                Some(h) => h,
+                None => {
+                    partial.clear();
+                    break;
+                }
+            };
+            let grounds = match ground_index.get(&head) {
+                Some(g) => g,
+                None => {
+                    partial.clear();
+                    break;
+                }
+            };
+            let mut next = Vec::new();
+            for binding in &partial {
+                for &g in grounds {
+                    let mut b = binding.clone();
+                    if match_pattern(store, classes, pat, g, &mut b) {
+                        next.push(b);
+                    }
+                    if next.len() > limit {
+                        break;
+                    }
+                }
+                if next.len() > limit {
+                    break;
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        for mut b in partial {
+            // Only keep complete bindings.
+            if quant
+                .vars
+                .iter()
+                .all(|&(i, _)| b.iter().any(|&(j, _)| j == i))
+            {
+                b.sort_by_key(|&(i, _)| i);
+                b.retain(|&(i, _)| quant.vars.iter().any(|&(qi, _)| qi == i));
+                if !out.contains(&b) {
+                    out.push(b);
+                }
+            }
+            if out.len() > limit {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_minimal_single_trigger() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let g = s.declare_fun("g", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let fx = s.mk_app(f, vec![x]);
+        let gx = s.mk_app(g, vec![x]);
+        let body = s.mk_eq(fx, gx);
+        let trig = infer_triggers(&s, &[(0, int)], body, TriggerPolicy::Minimal);
+        assert_eq!(trig.len(), 1);
+        assert_eq!(trig[0].len(), 1);
+    }
+
+    #[test]
+    fn infer_broad_many_triggers() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let g = s.declare_fun("g", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let fx = s.mk_app(f, vec![x]);
+        let gx = s.mk_app(g, vec![x]);
+        let body = s.mk_eq(fx, gx);
+        let trig = infer_triggers(&s, &[(0, int)], body, TriggerPolicy::Broad);
+        assert!(
+            trig.len() >= 2,
+            "broad policy keeps all candidates: {trig:?}"
+        );
+    }
+
+    #[test]
+    fn infer_multipattern_when_needed() {
+        // forall x, y. f(x) <= g(y): no single app covers both vars.
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let g = s.declare_fun("g", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let y = s.mk_bound(1, int);
+        let fx = s.mk_app(f, vec![x]);
+        let gy = s.mk_app(g, vec![y]);
+        let body = s.mk_le(fx, gy);
+        let trig = infer_triggers(&s, &[(0, int), (1, int)], body, TriggerPolicy::Minimal);
+        assert_eq!(trig.len(), 1);
+        assert_eq!(trig[0].len(), 2);
+    }
+
+    #[test]
+    fn match_simple_app() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let pat = s.mk_app(f, vec![x]);
+        let three = s.mk_int(3);
+        let f3 = s.mk_app(f, vec![three]);
+        let classes = ClassIndex::new();
+        let mut binding = Vec::new();
+        assert!(match_pattern(&s, &classes, pat, f3, &mut binding));
+        assert_eq!(binding, vec![(0, three)]);
+    }
+
+    #[test]
+    fn match_consistency_required() {
+        // f(x, x) should not match f(1, 2).
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int, int], int);
+        let x = s.mk_bound(0, int);
+        let pat = s.mk_app(f, vec![x, x]);
+        let one = s.mk_int(1);
+        let two = s.mk_int(2);
+        let f12 = s.mk_app(f, vec![one, two]);
+        let f11 = s.mk_app(f, vec![one, one]);
+        let classes = ClassIndex::new();
+        let mut b = Vec::new();
+        assert!(!match_pattern(&s, &classes, pat, f12, &mut b));
+        let mut b = Vec::new();
+        assert!(match_pattern(&s, &classes, pat, f11, &mut b));
+    }
+
+    #[test]
+    fn enumerate_with_index() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let fx = s.mk_app(f, vec![x]);
+        let zero = s.mk_int(0);
+        let body = s.mk_le(fx, zero);
+        let q = Quant {
+            is_forall: true,
+            vars: vec![(0, int)],
+            triggers: vec![vec![fx]],
+            body,
+            qid: s.sym("q"),
+        };
+        let one = s.mk_int(1);
+        let two = s.mk_int(2);
+        let f1 = s.mk_app(f, vec![one]);
+        let f2 = s.mk_app(f, vec![two]);
+        let mut index = HashMap::new();
+        index.insert(PatternHead::Func(f), vec![f1, f2]);
+        let ms = enumerate_matches(&s, &ClassIndex::new(), &q, &index, 100);
+        assert_eq!(ms.len(), 2);
+    }
+}

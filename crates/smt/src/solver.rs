@@ -1,0 +1,1220 @@
+//! The DPLL(T) solver: boolean search over theory atoms with lazy theory
+//! checking (EUF + LIA at each full assignment) and round-based quantifier
+//! instantiation (e-matching by default, universe saturation in EPR mode).
+//!
+//! Soundness note: `Unsat` answers rest only on learned clauses that are
+//! valid theory lemmas (EUF/LIA explanations, instantiation clauses), so a
+//! verification result of "proved" is trustworthy. `Sat` answers with
+//! quantifiers present may be spurious (the model is reported with
+//! `maybe_spurious = true`); the verification layer treats them as "not
+//! proved" plus a best-effort counterexample.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use crate::euf::{Euf, NodeId};
+use crate::lia::{LVar, Lia, LiaOutcome};
+use crate::quant::{
+    enumerate_matches, infer_triggers, pattern_head, ClassIndex, PatternHead, TriggerPolicy,
+};
+use crate::sat::{FinalCheck, LBool, Lit, SatLimits, SatResult, SatSolver};
+use crate::term::{Quant, Sort, SortId, TermId, TermKind, TermStore};
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum quantifier-instantiation rounds before giving up.
+    pub max_quant_rounds: usize,
+    /// Cap on new instances per quantifier per round.
+    pub max_instances_per_round: usize,
+    /// Branch-and-bound node budget per LIA final check.
+    pub lia_branch_nodes: usize,
+    pub sat_limits: SatLimits,
+    /// EPR mode: instantiate over the ground universe instead of e-matching;
+    /// complete for stratified EPR problems.
+    pub epr_mode: bool,
+    /// Policy used when a quantifier arrives without triggers.
+    pub trigger_policy: TriggerPolicy,
+    /// Maximum instantiation generation (Z3-style fuel): a binding whose
+    /// terms were created by generation-g instances may only instantiate
+    /// further if g < max_generation. Bounds recursive definitional
+    /// unfolding so rounds converge.
+    pub max_generation: u32,
+    pub timeout: Option<Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_quant_rounds: 12,
+            max_instances_per_round: 3000,
+            lia_branch_nodes: 6000,
+            sat_limits: SatLimits::default(),
+            epr_mode: false,
+            trigger_policy: TriggerPolicy::Minimal,
+            max_generation: 4,
+            timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// A (possibly partial) first-order model for diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    pub bools: HashMap<TermId, bool>,
+    pub ints: HashMap<TermId, i128>,
+    /// True when quantifiers were present and not saturated: the model may
+    /// not satisfy them.
+    pub maybe_spurious: bool,
+}
+
+/// Result of a `check` call.
+#[derive(Clone, Debug)]
+pub enum SmtResult {
+    Unsat,
+    Sat(Model),
+    Unknown(String),
+}
+
+impl SmtResult {
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+}
+
+/// Cumulative statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    pub decisions: u64,
+    pub conflicts: u64,
+    pub propagations: u64,
+    pub instantiations: u64,
+    pub quant_rounds: u64,
+    pub final_checks: u64,
+}
+
+/// The SMT solver. Owns the term store.
+pub struct Solver {
+    pub store: TermStore,
+    config: Config,
+    sat: SatSolver,
+    /// Literal asserted true at the root (used as gate constant and as the
+    /// "axiom" reason for built-in facts).
+    lit_true: Lit,
+    /// Tseitin cache over formula terms.
+    tseitin: HashMap<TermId, Lit>,
+    /// Theory atoms: term -> positive literal.
+    lit_of_atom: HashMap<TermId, Lit>,
+    atoms: Vec<(TermId, Lit)>,
+    /// Universal quantifier proxies.
+    quants: Vec<(TermId, Lit)>,
+    quant_set: HashSet<TermId>,
+    /// All registered (ground) terms.
+    registered: HashSet<TermId>,
+    /// Ground term index for e-matching.
+    ground_index: HashMap<PatternHead, Vec<TermId>>,
+    /// Ground terms by sort (EPR universe).
+    ground_by_sort: HashMap<SortId, Vec<TermId>>,
+    /// Seen instantiations: (quant term, binding).
+    instances: HashSet<(TermId, Vec<(u32, TermId)>)>,
+    /// Shared-argument equality atoms already materialized (theory
+    /// combination).
+    combo_splits: HashSet<(TermId, TermId)>,
+    /// Instantiation generation of each term (absent = 0, i.e. original).
+    term_gen: HashMap<TermId, u32>,
+    /// Pending formulas to assert: (formula, from_axiom).
+    queue: Vec<(TermId, bool)>,
+    /// Terms whose div/mod axioms were generated.
+    divmod_done: HashSet<TermId>,
+    /// Terms whose datatype axioms were generated.
+    dt_done: HashSet<TermId>,
+    /// Int equalities with trichotomy lemma generated.
+    tricho_done: HashSet<TermId>,
+    /// Formulas asserted by the user (for the printer / query-size metric).
+    pub asserted: Vec<TermId>,
+    has_bv: bool,
+    pub stats: Stats,
+}
+
+impl Solver {
+    pub fn new(config: Config) -> Solver {
+        let mut sat = SatSolver::new();
+        let v = sat.new_var();
+        let lit_true = Lit::pos(v);
+        sat.add_clause(vec![lit_true]);
+        Solver {
+            store: TermStore::new(),
+            config,
+            sat,
+            lit_true,
+            tseitin: HashMap::new(),
+            lit_of_atom: HashMap::new(),
+            atoms: Vec::new(),
+            quants: Vec::new(),
+            quant_set: HashSet::new(),
+            registered: HashSet::new(),
+            ground_index: HashMap::new(),
+            ground_by_sort: HashMap::new(),
+            instances: HashSet::new(),
+            combo_splits: HashSet::new(),
+            term_gen: HashMap::new(),
+            queue: Vec::new(),
+            divmod_done: HashSet::new(),
+            dt_done: HashSet::new(),
+            tricho_done: HashSet::new(),
+            asserted: Vec::new(),
+            has_bv: false,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn with_defaults() -> Solver {
+        Solver::new(Config::default())
+    }
+
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Assert a boolean formula.
+    pub fn assert(&mut self, t: TermId) {
+        debug_assert_eq!(self.store.sort_of(t), self.store.bool_sort());
+        self.asserted.push(t);
+        self.queue.push((t, false));
+        self.drain_queue();
+    }
+
+    fn drain_queue(&mut self) {
+        while let Some((f, from_axiom)) = self.queue.pop() {
+            let lit = self.encode_formula(f, from_axiom);
+            self.sat.add_clause(vec![lit]);
+        }
+    }
+
+    /// Preprocess (ite-lift + NNF/skolemize) and tseitin-encode a formula.
+    fn encode_formula(&mut self, f: TermId, from_axiom: bool) -> Lit {
+        let mut cache = HashMap::new();
+        let f = self.lift_ites(f, from_axiom, &mut cache);
+        let f = self.nnf(f, true, &[]);
+        self.encode(f, from_axiom)
+    }
+
+    // ------------------------------------------------------------------
+    // Preprocessing
+    // ------------------------------------------------------------------
+
+    /// Replace ground non-boolean `ite` terms with fresh constants defined
+    /// by queued side assertions.
+    fn lift_ites(
+        &mut self,
+        t: TermId,
+        from_axiom: bool,
+        cache: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&r) = cache.get(&t) {
+            return r;
+        }
+        let kids = self.store.children(t);
+        let new_kids: Vec<TermId> = kids
+            .iter()
+            .map(|&k| self.lift_ites(k, from_axiom, cache))
+            .collect();
+        let mut t2 = self.store.rebuild(t, &new_kids);
+        if let TermKind::Ite(c, a, b) = *self.store.kind(t2) {
+            if self.store.sort_of(t2) != self.store.bool_sort() && !self.store.has_bound_var(t2) {
+                let sort = self.store.sort_of(t2);
+                let v = self.store.mk_fresh_var("ite", sort);
+                let eq_a = self.store.mk_eq(v, a);
+                let eq_b = self.store.mk_eq(v, b);
+                let pos = self.store.mk_implies(c, eq_a);
+                let nc = self.store.mk_not(c);
+                let neg = self.store.mk_implies(nc, eq_b);
+                self.queue.push((pos, from_axiom));
+                self.queue.push((neg, from_axiom));
+                t2 = v;
+            }
+        }
+        cache.insert(t, t2);
+        t2
+    }
+
+    fn contains_quantifier(&self, t: TermId) -> bool {
+        if matches!(self.store.kind(t), TermKind::Quantifier(_)) {
+            return true;
+        }
+        self.store
+            .children(t)
+            .into_iter()
+            .any(|c| self.contains_quantifier(c))
+    }
+
+    /// Negation normal form with polarity-aware skolemization. `univs` lists
+    /// the universal binders in scope (after polarity normalization).
+    fn nnf(&mut self, t: TermId, pol: bool, univs: &[(u32, SortId)]) -> TermId {
+        let kind = self.store.kind(t).clone();
+        match kind {
+            TermKind::Not(a) => self.nnf(a, !pol, univs),
+            TermKind::BoolConst(b) => self.store.mk_bool(b == pol),
+            TermKind::And(parts) => {
+                let parts: Vec<TermId> = parts.iter().map(|&p| self.nnf(p, pol, univs)).collect();
+                if pol {
+                    self.store.mk_and(parts)
+                } else {
+                    self.store.mk_or(parts)
+                }
+            }
+            TermKind::Or(parts) => {
+                let parts: Vec<TermId> = parts.iter().map(|&p| self.nnf(p, pol, univs)).collect();
+                if pol {
+                    self.store.mk_or(parts)
+                } else {
+                    self.store.mk_and(parts)
+                }
+            }
+            TermKind::Implies(a, b) => {
+                let na = self.nnf(a, !pol, univs);
+                let nb = self.nnf(b, pol, univs);
+                if pol {
+                    self.store.mk_or(vec![na, nb])
+                } else {
+                    self.store.mk_and(vec![na, nb])
+                }
+            }
+            TermKind::Eq(a, b) if self.store.sort_of(a) == self.store.bool_sort() => {
+                if self.contains_quantifier(a) || self.contains_quantifier(b) {
+                    // Expand iff so quantifier polarities are definite.
+                    let fwd = self.store.mk_implies(a, b);
+                    let bwd = self.store.mk_implies(b, a);
+                    let both = self.store.mk_and(vec![fwd, bwd]);
+                    self.nnf(both, pol, univs)
+                } else if pol {
+                    t
+                } else {
+                    self.store.mk_not(t)
+                }
+            }
+            TermKind::Distinct(parts) => {
+                let mut neqs = Vec::new();
+                for i in 0..parts.len() {
+                    for j in (i + 1)..parts.len() {
+                        let eq = self.store.mk_eq(parts[i], parts[j]);
+                        let ne = self.store.mk_not(eq);
+                        neqs.push(self.nnf(ne, pol, univs));
+                    }
+                }
+                if pol {
+                    self.store.mk_and(neqs)
+                } else {
+                    self.store.mk_or(neqs)
+                }
+            }
+            TermKind::Quantifier(q) => {
+                let stays_universal = q.is_forall == pol;
+                if stays_universal {
+                    let mut inner = univs.to_vec();
+                    inner.extend(q.vars.iter().copied());
+                    let body = self.nnf(q.body, pol, &inner);
+                    let triggers = if q.triggers.is_empty() {
+                        infer_triggers(&self.store, &q.vars, body, self.config.trigger_policy)
+                    } else {
+                        q.triggers.clone()
+                    };
+                    let qid = self.store.sym_name(q.qid).to_owned();
+                    self.store.mk_forall(q.vars.clone(), triggers, body, &qid)
+                } else {
+                    // Existential (after polarity): skolemize over `univs`.
+                    let mut subst = Vec::new();
+                    for &(idx, sort) in &q.vars {
+                        let sk = if univs.is_empty() {
+                            self.store.mk_fresh_var("sk", sort)
+                        } else {
+                            let args: Vec<SortId> = univs.iter().map(|&(_, s)| s).collect();
+                            let name = {
+                                let sym = self.store.fresh_sym("sk");
+                                self.store.sym_name(sym).to_owned()
+                            };
+                            let func = self.store.declare_fun(&name, args, sort);
+                            let arg_terms: Vec<TermId> = univs
+                                .iter()
+                                .map(|&(i, s)| self.store.mk_bound(i, s))
+                                .collect();
+                            self.store.mk_app(func, arg_terms)
+                        };
+                        subst.push((idx, sk));
+                    }
+                    let body = self.store.substitute(q.body, &subst);
+                    self.nnf(body, pol, univs)
+                }
+            }
+            // Atoms.
+            _ => {
+                if pol {
+                    t
+                } else {
+                    self.store.mk_not(t)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tseitin encoding
+    // ------------------------------------------------------------------
+
+    fn fresh_lit(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    fn encode(&mut self, t: TermId, from_axiom: bool) -> Lit {
+        if let Some(&l) = self.tseitin.get(&t) {
+            return l;
+        }
+        let kind = self.store.kind(t).clone();
+        let lit = match kind {
+            TermKind::BoolConst(b) => {
+                if b {
+                    self.lit_true
+                } else {
+                    self.lit_true.negate()
+                }
+            }
+            TermKind::Not(a) => self.encode(a, from_axiom).negate(),
+            TermKind::And(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.encode(p, from_axiom)).collect();
+                let o = self.fresh_lit();
+                let mut big = vec![o];
+                for &l in &lits {
+                    self.sat.add_clause(vec![o.negate(), l]);
+                    big.push(l.negate());
+                }
+                self.sat.add_clause(big);
+                o
+            }
+            TermKind::Or(parts) => {
+                let lits: Vec<Lit> = parts.iter().map(|&p| self.encode(p, from_axiom)).collect();
+                let o = self.fresh_lit();
+                let mut big = vec![o.negate()];
+                for &l in &lits {
+                    self.sat.add_clause(vec![o, l.negate()]);
+                    big.push(l);
+                }
+                self.sat.add_clause(big);
+                o
+            }
+            TermKind::Implies(a, b) => {
+                let la = self.encode(a, from_axiom);
+                let lb = self.encode(b, from_axiom);
+                let o = self.fresh_lit();
+                self.sat.add_clause(vec![o.negate(), la.negate(), lb]);
+                self.sat.add_clause(vec![o, la]);
+                self.sat.add_clause(vec![o, lb.negate()]);
+                o
+            }
+            TermKind::Eq(a, b) if self.store.sort_of(a) == self.store.bool_sort() => {
+                let la = self.encode(a, from_axiom);
+                let lb = self.encode(b, from_axiom);
+                let o = self.fresh_lit();
+                self.sat.add_clause(vec![o.negate(), la.negate(), lb]);
+                self.sat.add_clause(vec![o.negate(), la, lb.negate()]);
+                self.sat.add_clause(vec![o, la, lb]);
+                self.sat.add_clause(vec![o, la.negate(), lb.negate()]);
+                o
+            }
+            TermKind::Quantifier(ref q) => {
+                if q.is_forall {
+                    let proxy = self.fresh_lit();
+                    if self.quant_set.insert(t) {
+                        self.quants.push((t, proxy));
+                        // Register trigger heads' ground subterms? No:
+                        // triggers contain bound vars; ground terms come
+                        // from atoms.
+                    } else {
+                        // Same quantifier term encoded before: reuse proxy.
+                        let existing = self
+                            .quants
+                            .iter()
+                            .find(|&&(qt, _)| qt == t)
+                            .map(|&(_, p)| p)
+                            .expect("quant proxy");
+                        self.tseitin.insert(t, existing);
+                        return existing;
+                    }
+                    proxy
+                } else {
+                    // A surviving existential (under an iff without
+                    // quantifier-free expansion) — treat as an unconstrained
+                    // atom; sound for Unsat, prevents claiming Sat.
+                    self.has_bv = true; // force Unknown on Sat side
+                    self.fresh_lit()
+                }
+            }
+            // Theory atom.
+            _ => {
+                if let Some(&l) = self.lit_of_atom.get(&t) {
+                    l
+                } else {
+                    let l = self.fresh_lit();
+                    self.lit_of_atom.insert(t, l);
+                    self.atoms.push((t, l));
+                    self.register_term(t, from_axiom);
+                    self.generate_atom_axioms(t, from_axiom);
+                    l
+                }
+            }
+        };
+        self.tseitin.insert(t, lit);
+        lit
+    }
+
+    /// Register a ground term (and subterms) for theory dispatch, the
+    /// e-matching index, and the EPR universe; queue structural axioms.
+    fn register_term(&mut self, t: TermId, from_axiom: bool) {
+        if self.registered.contains(&t) {
+            return;
+        }
+        if self.store.has_bound_var(t) {
+            return;
+        }
+        self.registered.insert(t);
+        match self.store.kind(t).clone() {
+            TermKind::Quantifier(_) => return, // bodies register on instantiation
+            TermKind::BvNot(_)
+            | TermKind::BvAnd(..)
+            | TermKind::BvOr(..)
+            | TermKind::BvXor(..)
+            | TermKind::BvAdd(..)
+            | TermKind::BvSub(..)
+            | TermKind::BvMul(..)
+            | TermKind::BvUdiv(..)
+            | TermKind::BvUrem(..)
+            | TermKind::BvShl(..)
+            | TermKind::BvLshr(..)
+            | TermKind::BvUle(..)
+            | TermKind::BvUlt(..)
+            | TermKind::BvConst { .. } => {
+                self.has_bv = true;
+            }
+            TermKind::IntDiv(a, b) | TermKind::IntMod(a, b) => {
+                if self.divmod_done.insert(t) {
+                    self.queue_divmod_axiom(a, b);
+                }
+            }
+            _ => {}
+        }
+        for c in self.store.children(t) {
+            self.register_term(c, from_axiom);
+        }
+        // Ground index for e-matching.
+        if let Some(h) = pattern_head(&self.store, t) {
+            self.ground_index.entry(h).or_default().push(t);
+        }
+        // EPR universe: every ground term by sort.
+        let sort = self.store.sort_of(t);
+        let entry = self.ground_by_sort.entry(sort).or_default();
+        if !entry.contains(&t) {
+            entry.push(t);
+        }
+        // Datatype structural axioms (skip for axiom-created terms to
+        // terminate on recursive datatypes).
+        if !from_axiom {
+            if let Sort::Datatype(dt) = *self.store.sort_data(sort) {
+                if self.dt_done.insert(t) {
+                    self.queue_datatype_axioms(dt, t);
+                }
+            }
+        }
+    }
+
+    fn generate_atom_axioms(&mut self, t: TermId, _from_axiom: bool) {
+        // Integer equality trichotomy: (a = b) ∨ (a < b) ∨ (b < a).
+        if let TermKind::Eq(a, b) = *self.store.kind(t) {
+            if self.store.sort_of(a) == self.store.int_sort() && self.tricho_done.insert(t) {
+                let lt = self.store.mk_lt(a, b);
+                let gt = self.store.mk_lt(b, a);
+                let tri = self.store.mk_or(vec![t, lt, gt]);
+                self.queue.push((tri, true));
+            }
+        }
+    }
+
+    fn queue_divmod_axiom(&mut self, a: TermId, b: TermId) {
+        // q = a div b, r = a mod b:  b != 0 ==> a = b*q + r  /\  0 <= r < |b|
+        let q = self.store.mk_int_div(a, b);
+        let r = self.store.mk_int_mod(a, b);
+        let bq = self.store.mk_mul(b, q);
+        let sum = self.store.mk_add(vec![bq, r]);
+        let defn = self.store.mk_eq(a, sum);
+        let zero = self.store.mk_int(0);
+        let r_lo = self.store.mk_le(zero, r);
+        // |b|: encode r < b when b > 0, r < -b when b < 0.
+        let b_pos = self.store.mk_lt(zero, b);
+        let b_neg = self.store.mk_lt(b, zero);
+        let r_lt_b = self.store.mk_lt(r, b);
+        let nb = self.store.mk_neg(b);
+        let r_lt_nb = self.store.mk_lt(r, nb);
+        let hi_pos = self.store.mk_implies(b_pos, r_lt_b);
+        let hi_neg = self.store.mk_implies(b_neg, r_lt_nb);
+        let body = self.store.mk_and(vec![defn, r_lo, hi_pos, hi_neg]);
+        let b_nonzero = self.store.mk_eq(b, zero);
+        let guard = self.store.mk_not(b_nonzero);
+        let axiom = self.store.mk_implies(guard, body);
+        self.queue.push((axiom, true));
+    }
+
+    fn queue_datatype_axioms(&mut self, dt: crate::term::DatatypeId, t: TermId) {
+        let nctors = self.store.datatype(dt).constructors.len();
+        // Exhaustiveness.
+        let tests: Vec<TermId> = (0..nctors)
+            .map(|c| self.store.mk_dt_test(dt, c as u32, t))
+            .collect();
+        let exh = self.store.mk_or(tests.clone());
+        self.queue.push((exh, true));
+        // Pairwise exclusivity.
+        for i in 0..nctors {
+            for j in (i + 1)..nctors {
+                let ni = self.store.mk_not(tests[i]);
+                let nj = self.store.mk_not(tests[j]);
+                let cl = self.store.mk_or(vec![ni, nj]);
+                self.queue.push((cl, true));
+            }
+        }
+        // Tester implies constructor-of-selectors (gives injectivity).
+        for c in 0..nctors {
+            let nfields = self.store.datatype(dt).constructors[c].fields.len();
+            let sels: Vec<TermId> = (0..nfields)
+                .map(|f| self.store.mk_dt_sel(dt, c as u32, f as u32, t))
+                .collect();
+            let ctor = self.store.mk_dt_ctor(dt, c as u32, sels);
+            let eq = self.store.mk_eq(t, ctor);
+            let ax = self.store.mk_implies(tests[c], eq);
+            self.queue.push((ax, true));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Check
+    // ------------------------------------------------------------------
+
+    /// Check satisfiability of all asserted formulas.
+    pub fn check(&mut self) -> SmtResult {
+        self.drain_queue();
+        if self.has_bv {
+            return SmtResult::Unknown(
+                "bit-vector or unsupported atoms present; use the bit-blasting solver".into(),
+            );
+        }
+        let deadline = self.config.timeout.map(|d| Instant::now() + d);
+        let max_rounds = self.config.max_quant_rounds;
+        for _round in 0..=max_rounds {
+            if let Some(d) = deadline {
+                if Instant::now() > d {
+                    return SmtResult::Unknown("timeout".into());
+                }
+            }
+            self.stats.quant_rounds += 1;
+            let mut last_model: Option<HashMap<TermId, i128>> = None;
+            let mut theory_unknown = false;
+            let outcome = {
+                let store = &self.store;
+                let atoms = &self.atoms;
+                let lia_budget = self.config.lia_branch_nodes;
+                let axiom_lit = self.lit_true;
+                let stats = &mut self.stats;
+                let sat = &mut self.sat;
+                let mut limits = self.config.sat_limits;
+                limits.deadline = deadline;
+                sat.solve_with(limits, |satref| {
+                    stats.final_checks += 1;
+                    match theory_final_check(store, atoms, satref, lia_budget, axiom_lit) {
+                        TheoryVerdict::Consistent(model) => {
+                            last_model = Some(model);
+                            FinalCheck::Consistent
+                        }
+                        TheoryVerdict::Conflict(clause) => FinalCheck::Conflict(clause),
+                        TheoryVerdict::Unknown => {
+                            theory_unknown = true;
+                            FinalCheck::Consistent
+                        }
+                    }
+                })
+            };
+            self.stats.decisions = self.sat.decisions;
+            self.stats.conflicts = self.sat.conflicts;
+            self.stats.propagations = self.sat.propagations;
+            match outcome {
+                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unknown => return SmtResult::Unknown("sat budget exceeded".into()),
+                SatResult::Sat => {
+                    if theory_unknown {
+                        return SmtResult::Unknown("theory budget exceeded".into());
+                    }
+                    let added = self.instantiate_round() + self.combination_round();
+                    if added == 0 {
+                        let mut model = Model::default();
+                        for &(t, l) in &self.atoms {
+                            if let LBool::True = self.sat.value(l) {
+                                model.bools.insert(t, true);
+                            } else {
+                                model.bools.insert(t, false);
+                            }
+                        }
+                        if let Some(ints) = last_model {
+                            model.ints = ints;
+                        }
+                        let any_quant = self
+                            .quants
+                            .iter()
+                            .any(|&(_, p)| self.sat.value(p) == LBool::True);
+                        model.maybe_spurious = any_quant && !self.config.epr_mode;
+                        return SmtResult::Sat(model);
+                    }
+                    // else: loop and re-solve with the new instances.
+                }
+            }
+        }
+        SmtResult::Unknown("instantiation rounds exhausted".into())
+    }
+
+    /// One instantiation round; returns the number of new instances.
+    fn instantiate_round(&mut self) -> usize {
+        // Equivalence classes from equality atoms true in the current model:
+        // matching happens modulo these (poor man's e-graph).
+        let mut classes = ClassIndex::new();
+        for &(t, lit) in &self.atoms {
+            if self.sat.value(lit) == LBool::True {
+                if let TermKind::Eq(a, b) = self.store.kind(t) {
+                    classes.union(*a, *b);
+                }
+            }
+        }
+        let mut new_instances: Vec<(Lit, TermId, Vec<(u32, TermId)>, TermId)> = Vec::new();
+        let quants = self.quants.clone();
+        for (qterm, proxy) in quants {
+            if self.sat.value(proxy) != LBool::True {
+                continue;
+            }
+            let q = match self.store.kind(qterm) {
+                TermKind::Quantifier(q) => q.clone(),
+                _ => unreachable!("quant table holds quantifiers"),
+            };
+            let bindings = if self.config.epr_mode {
+                self.epr_bindings(&q)
+            } else {
+                enumerate_matches(
+                    &self.store,
+                    &classes,
+                    &q,
+                    &self.ground_index,
+                    self.config.max_instances_per_round,
+                )
+            };
+            for b in bindings {
+                // Generation cap: bindings built from deeply derived terms
+                // do not instantiate further (bounds recursive unfolding).
+                let bgen = b
+                    .iter()
+                    .map(|&(_, t)| self.term_gen.get(&t).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                if bgen >= self.config.max_generation {
+                    continue;
+                }
+                let key = (qterm, b.clone());
+                if self.instances.contains(&key) {
+                    continue;
+                }
+                self.instances.insert(key);
+                let inst = self.store.substitute(q.body, &b);
+                new_instances.push((proxy, qterm, b, inst));
+                if new_instances.len() >= self.config.max_instances_per_round {
+                    break;
+                }
+            }
+        }
+        let n = new_instances.len();
+        if std::env::var("VERIS_DEBUG_INST").is_ok() {
+            for (_, q, b, _) in &new_instances {
+                if let TermKind::Quantifier(qd) = self.store.kind(*q) {
+                    eprintln!(
+                        "inst {} with {:?}",
+                        self.store.sym_name(qd.qid),
+                        b.iter()
+                            .map(|&(i, t)| format!("{}={}", i, self.store.display(t)))
+                            .collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        for (proxy, _q, b, inst) in new_instances {
+            self.stats.instantiations += 1;
+            let bgen = b
+                .iter()
+                .map(|&(_, t)| self.term_gen.get(&t).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            let before = self.store.num_terms();
+            let l = self.encode_formula(inst, false);
+            self.drain_queue_no_recurse();
+            // Terms created by this instance inherit generation bgen + 1.
+            let after = self.store.num_terms();
+            for id in before as u32..after as u32 {
+                self.term_gen.entry(TermId(id)).or_insert(bgen + 1);
+            }
+            self.sat.add_clause(vec![proxy.negate(), l]);
+        }
+        n
+    }
+
+    /// Theory-combination round: materialize equality atoms between int
+    /// arguments of same-symbol applications so LIA-entailed equalities can
+    /// reach EUF congruence (the classic shared-term equality propagation;
+    /// without it, `f(i - 1)` and `f(i - len(s))` never merge even when
+    /// `len(s) = 1` is known arithmetically).
+    fn combination_round(&mut self) -> usize {
+        let int = self.store.int_sort();
+        let mut new_pairs: Vec<(TermId, TermId)> = Vec::new();
+        for terms in self.ground_index.values() {
+            // Cap the per-symbol pair fan-out.
+            let cap = 16.min(terms.len());
+            for i in 0..cap {
+                for j in (i + 1)..cap {
+                    let (a, b) = (terms[i], terms[j]);
+                    let (ka, kb) = (self.store.kind(a).clone(), self.store.kind(b).clone());
+                    let (args_a, args_b) = match (&ka, &kb) {
+                        (TermKind::App(f, x), TermKind::App(g, y)) if f == g => {
+                            (x.clone(), y.clone())
+                        }
+                        _ => continue,
+                    };
+                    for (&x, &y) in args_a.iter().zip(args_b.iter()) {
+                        if x == y || self.store.sort_of(x) != int {
+                            continue;
+                        }
+                        let key = if x < y { (x, y) } else { (y, x) };
+                        if self.combo_splits.contains(&key) {
+                            continue;
+                        }
+                        self.combo_splits.insert(key);
+                        new_pairs.push(key);
+                        if new_pairs.len() >= 200 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let n = new_pairs.len();
+        for (x, y) in new_pairs {
+            // Materialize the atom via a tautology; the trichotomy lemma
+            // generated at atom registration lets LIA decide it.
+            let eq = self.store.mk_eq(x, y);
+            let ne = self.store.mk_not(eq);
+            let tauto = self.store.mk_or(vec![eq, ne]);
+            self.queue.push((tauto, true));
+        }
+        self.drain_queue();
+        n
+    }
+
+    fn drain_queue_no_recurse(&mut self) {
+        // Identical to drain_queue; named separately for clarity at call
+        // sites inside the instantiation loop.
+        self.drain_queue();
+    }
+
+    /// Enumerate bindings over the ground universe (EPR saturation).
+    fn epr_bindings(&mut self, q: &Quant) -> Vec<Vec<(u32, TermId)>> {
+        // Ensure every sort has a witness.
+        for &(_, sort) in &q.vars {
+            if self
+                .ground_by_sort
+                .get(&sort)
+                .map_or(true, |v| v.is_empty())
+            {
+                let w = self.store.mk_fresh_var("witness", sort);
+                self.register_term(w, true);
+            }
+        }
+        let mut bindings: Vec<Vec<(u32, TermId)>> = vec![vec![]];
+        for &(idx, sort) in &q.vars {
+            let universe = self.ground_by_sort.get(&sort).cloned().unwrap_or_default();
+            let mut next = Vec::new();
+            for b in &bindings {
+                for &g in &universe {
+                    let mut nb = b.clone();
+                    nb.push((idx, g));
+                    next.push(nb);
+                    if next.len() > self.config.max_instances_per_round * 4 {
+                        break;
+                    }
+                }
+            }
+            bindings = next;
+        }
+        bindings
+    }
+
+    /// Total size in bytes of the asserted query rendered as SMT-LIB.
+    pub fn query_size_bytes(&self) -> usize {
+        crate::printer::print_smtlib(&self.store, &self.asserted).len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Theory final check (free function to avoid borrow entanglement)
+// ----------------------------------------------------------------------
+
+enum TheoryVerdict {
+    Consistent(HashMap<TermId, i128>),
+    Conflict(Vec<Lit>),
+    Unknown,
+}
+
+struct TheoryCtx<'a> {
+    store: &'a TermStore,
+    euf: Euf,
+    node_of: HashMap<TermId, NodeId>,
+    lia: Lia,
+    lvar_of: HashMap<TermId, LVar>,
+    lvars: Vec<(TermId, LVar)>,
+    /// Dense tags for structured EUF signatures.
+    lin_sigs: HashMap<(i128, Vec<i128>), u64>,
+    dt_tags: HashMap<(u32, u32, u32), u64>,
+    tag_table: Vec<Vec<Lit>>,
+    true_node: NodeId,
+    false_node: NodeId,
+    axiom_lit: Lit,
+    /// Constructor ground terms seen per datatype, for distinctness diseqs.
+    ctors_seen: HashMap<u32, Vec<(u32, NodeId)>>,
+}
+
+impl<'a> TheoryCtx<'a> {
+    fn new(store: &'a TermStore, axiom_lit: Lit) -> TheoryCtx<'a> {
+        let mut euf = Euf::new();
+        let true_node = euf.add_node(tag_leaf(u32::MAX), vec![]);
+        let false_node = euf.add_node(tag_leaf(u32::MAX - 1), vec![]);
+        euf.assert_neq(true_node, false_node, axiom_lit);
+        TheoryCtx {
+            store,
+            euf,
+            node_of: HashMap::new(),
+            lia: Lia::new(),
+            lvar_of: HashMap::new(),
+            lvars: Vec::new(),
+            lin_sigs: HashMap::new(),
+            dt_tags: HashMap::new(),
+            tag_table: Vec::new(),
+            true_node,
+            false_node,
+            axiom_lit,
+            ctors_seen: HashMap::new(),
+        }
+    }
+
+    fn tag_for(&mut self, lits: Vec<Lit>) -> u32 {
+        let id = self.tag_table.len() as u32;
+        self.tag_table.push(lits);
+        id
+    }
+
+    fn euf_node(&mut self, t: TermId) -> NodeId {
+        if let Some(&n) = self.node_of.get(&t) {
+            return n;
+        }
+        let kind = self.store.kind(t).clone();
+        let (tag, children) = match kind {
+            TermKind::App(f, args) => {
+                let kids = args.iter().map(|&a| self.euf_node(a)).collect();
+                ((2u64 << 40) | f.0 as u64, kids)
+            }
+            TermKind::Linear {
+                konst,
+                ref monomials,
+            } => {
+                let coeffs: Vec<i128> = monomials.iter().map(|&(c, _)| c).collect();
+                let next = self.lin_sigs.len() as u64;
+                let dense = *self.lin_sigs.entry((konst, coeffs)).or_insert(next);
+                let kids = monomials.iter().map(|&(_, a)| self.euf_node(a)).collect();
+                ((3u64 << 40) | dense, kids)
+            }
+            TermKind::NlMul(ref factors) => {
+                let kids = factors.iter().map(|&a| self.euf_node(a)).collect();
+                ((4u64 << 40) | factors.len() as u64, kids)
+            }
+            TermKind::IntDiv(a, b) => {
+                let kids = vec![self.euf_node(a), self.euf_node(b)];
+                (5u64 << 40, kids)
+            }
+            TermKind::IntMod(a, b) => {
+                let kids = vec![self.euf_node(a), self.euf_node(b)];
+                (6u64 << 40, kids)
+            }
+            TermKind::DtCtor(dt, c, ref args) => {
+                let next = self.dt_tags.len() as u64;
+                let dense = *self.dt_tags.entry((dt.0, c, u32::MAX)).or_insert(next);
+                let kids: Vec<NodeId> = args.iter().map(|&a| self.euf_node(a)).collect();
+                let node = self.euf.add_node((7u64 << 40) | dense, kids.clone());
+                self.node_of.insert(t, node);
+                // EUF-internal selector nodes give injectivity: if two ctor
+                // terms merge, congruence equates their selector projections,
+                // hence their arguments.
+                for (i, &arg_node) in kids.iter().enumerate() {
+                    let snext = self.dt_tags.len() as u64;
+                    let sdense = *self.dt_tags.entry((dt.0, c, i as u32)).or_insert(snext);
+                    let sel = self.euf.add_node((8u64 << 40) | sdense, vec![node]);
+                    self.euf.assert_eq(sel, arg_node, self.axiom_lit);
+                }
+                // Distinctness: different constructors never compare equal.
+                let seen = self.ctors_seen.entry(dt.0).or_default();
+                let others: Vec<NodeId> = seen
+                    .iter()
+                    .filter(|&&(c2, _)| c2 != c)
+                    .map(|&(_, n)| n)
+                    .collect();
+                seen.push((c, node));
+                for other in others {
+                    self.euf.assert_neq(node, other, self.axiom_lit);
+                }
+                return node;
+            }
+            TermKind::DtSel(dt, c, f, a) => {
+                let next = self.dt_tags.len() as u64;
+                let dense = *self.dt_tags.entry((dt.0, c, f)).or_insert(next);
+                ((8u64 << 40) | dense, vec![self.euf_node(a)])
+            }
+            TermKind::DtTest(dt, c, a) => {
+                let next = self.dt_tags.len() as u64;
+                let dense = *self.dt_tags.entry((dt.0, c, u32::MAX - 1)).or_insert(next);
+                ((9u64 << 40) | dense, vec![self.euf_node(a)])
+            }
+            // Leaves and anything else: opaque per-term constants.
+            _ => (tag_leaf(t.0), vec![]),
+        };
+        let n = self.euf.add_node(tag, children);
+        self.node_of.insert(t, n);
+        n
+    }
+
+    fn lvar(&mut self, t: TermId) -> LVar {
+        if let Some(&v) = self.lvar_of.get(&t) {
+            return v;
+        }
+        let v = self.lia.new_var();
+        self.lvar_of.insert(t, v);
+        self.lvars.push((t, v));
+        v
+    }
+
+    /// Decompose an int term into (constant, combo of LIA vars).
+    fn decompose(&mut self, t: TermId) -> (i128, Vec<(i128, LVar)>) {
+        match self.store.kind(t).clone() {
+            TermKind::IntConst(k) => (k, vec![]),
+            TermKind::Linear { konst, monomials } => {
+                let combo = monomials.iter().map(|&(c, a)| (c, self.lvar(a))).collect();
+                (konst, combo)
+            }
+            _ => (0, vec![(1, self.lvar(t))]),
+        }
+    }
+}
+
+fn tag_leaf(id: u32) -> u64 {
+    (1u64 << 40) | id as u64
+}
+
+fn theory_final_check(
+    store: &TermStore,
+    atoms: &[(TermId, Lit)],
+    sat: &SatSolver,
+    lia_budget: usize,
+    axiom_lit: Lit,
+) -> TheoryVerdict {
+    let mut ctx = TheoryCtx::new(store, axiom_lit);
+    let int_sort = store.int_sort();
+    let bool_sort = store.bool_sort();
+    // Register every non-boolean subterm of every atom in EUF so congruence
+    // reasoning sees terms that occur only under arithmetic atoms.
+    for &(t, _) in atoms {
+        register_subterms(&mut ctx, store, t, bool_sort);
+    }
+    // Dispatch asserted atoms.
+    for &(t, lit) in atoms {
+        let val = match sat.value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => continue,
+        };
+        let asserted_lit = if val { lit } else { lit.negate() };
+        match store.kind(t).clone() {
+            TermKind::Eq(a, b) => {
+                let (na, nb) = (ctx.euf_node(a), ctx.euf_node(b));
+                if val {
+                    ctx.euf.assert_eq(na, nb, asserted_lit);
+                    if store.sort_of(a) == int_sort {
+                        // a - b == 0 in LIA.
+                        let (ka, mut combo) = ctx.decompose(a);
+                        let (kb, cb) = ctx.decompose(b);
+                        for (c, v) in cb {
+                            combo.push((-c, v));
+                        }
+                        let konst = ka - kb;
+                        let combo = merge_combo(combo);
+                        let tag = ctx.tag_for(vec![asserted_lit]);
+                        if combo.is_empty() {
+                            if konst != 0 {
+                                return TheoryVerdict::Conflict(vec![asserted_lit.negate()]);
+                            }
+                        } else {
+                            match (
+                                ctx.lia.assert_upper(&combo, -konst, Some(tag)),
+                                ctx.lia.assert_lower(&combo, -konst, Some(tag)),
+                            ) {
+                                (Ok(None), Ok(None)) => {}
+                                (Ok(Some(tags)), _) | (_, Ok(Some(tags))) => {
+                                    return conflict_from_tags(&ctx, tags);
+                                }
+                                _ => return TheoryVerdict::Unknown,
+                            }
+                        }
+                    }
+                } else {
+                    ctx.euf.assert_neq(na, nb, asserted_lit);
+                }
+            }
+            TermKind::Le0(lin) => {
+                let (k, combo) = ctx.decompose(lin);
+                let tag = ctx.tag_for(vec![asserted_lit]);
+                let res = if combo.is_empty() {
+                    let holds = k <= 0;
+                    if holds != val {
+                        return TheoryVerdict::Conflict(vec![asserted_lit.negate()]);
+                    }
+                    Ok(None)
+                } else if val {
+                    // Σ combo + k <= 0  =>  Σ combo <= -k
+                    ctx.lia.assert_upper(&combo, -k, Some(tag))
+                } else {
+                    // Σ combo + k >= 1  =>  Σ combo >= 1 - k
+                    ctx.lia.assert_lower(&combo, 1 - k, Some(tag))
+                };
+                match res {
+                    Ok(None) => {}
+                    Ok(Some(tags)) => return conflict_from_tags(&ctx, tags),
+                    Err(_) => return TheoryVerdict::Unknown,
+                }
+            }
+            TermKind::Var(_, s) if s == bool_sort => {}
+            TermKind::App(..) | TermKind::DtTest(..) => {
+                // Boolean-sorted application / tester: merge with TRUE/FALSE.
+                let n = ctx.euf_node(t);
+                let target = if val { ctx.true_node } else { ctx.false_node };
+                ctx.euf.assert_eq(n, target, asserted_lit);
+            }
+            _ => {}
+        }
+    }
+    // EUF closure.
+    if let Err(c) = ctx.euf.propagate() {
+        let clause: Vec<Lit> = c
+            .lits
+            .into_iter()
+            .filter(|&l| l != axiom_lit)
+            .map(|l| l.negate())
+            .collect();
+        return TheoryVerdict::Conflict(clause);
+    }
+    // Propagate EUF-implied equalities over int terms into LIA.
+    let int_terms: Vec<TermId> = ctx
+        .node_of
+        .keys()
+        .copied()
+        .filter(|&t| store.sort_of(t) == int_sort)
+        .collect();
+    let mut class_reps: HashMap<NodeId, TermId> = HashMap::new();
+    for t in int_terms {
+        let n = ctx.node_of[&t];
+        let root = ctx.euf.find(n);
+        match class_reps.get(&root) {
+            None => {
+                class_reps.insert(root, t);
+            }
+            Some(&rep) => {
+                let rn = ctx.node_of[&rep];
+                let expl = ctx.euf.explain(rn, n);
+                let lits: Vec<Lit> = expl.into_iter().filter(|&l| l != axiom_lit).collect();
+                let (ka, mut combo) = ctx.decompose(rep);
+                let (kb, cb) = ctx.decompose(t);
+                for (c, v) in cb {
+                    combo.push((-c, v));
+                }
+                let konst = ka - kb;
+                let combo = merge_combo(combo);
+                if combo.is_empty() {
+                    if konst != 0 {
+                        let clause = lits.into_iter().map(|l| l.negate()).collect();
+                        return TheoryVerdict::Conflict(clause);
+                    }
+                    continue;
+                }
+                let tag = ctx.tag_for(lits);
+                match (
+                    ctx.lia.assert_upper(&combo, -konst, Some(tag)),
+                    ctx.lia.assert_lower(&combo, -konst, Some(tag)),
+                ) {
+                    (Ok(None), Ok(None)) => {}
+                    (Ok(Some(tags)), _) | (_, Ok(Some(tags))) => {
+                        return conflict_from_tags(&ctx, tags);
+                    }
+                    _ => return TheoryVerdict::Unknown,
+                }
+            }
+        }
+    }
+    // LIA feasibility + integrality.
+    match ctx.lia.check(lia_budget) {
+        LiaOutcome::Sat(model) => {
+            let mut ints = HashMap::new();
+            for &(t, v) in &ctx.lvars {
+                ints.insert(t, model[v.0 as usize]);
+            }
+            TheoryVerdict::Consistent(ints)
+        }
+        LiaOutcome::Unsat(tags) => conflict_from_tags(&ctx, tags),
+        LiaOutcome::Unknown => TheoryVerdict::Unknown,
+    }
+}
+
+fn register_subterms(ctx: &mut TheoryCtx<'_>, store: &TermStore, t: TermId, bool_sort: SortId) {
+    for c in store.children(t) {
+        if store.sort_of(c) != bool_sort {
+            ctx.euf_node(c);
+        }
+        register_subterms(ctx, store, c, bool_sort);
+    }
+}
+
+fn conflict_from_tags(ctx: &TheoryCtx<'_>, tags: Vec<u32>) -> TheoryVerdict {
+    let mut lits = Vec::new();
+    for tg in tags {
+        lits.extend(ctx.tag_table[tg as usize].iter().copied());
+    }
+    lits.sort_unstable();
+    lits.dedup();
+    TheoryVerdict::Conflict(lits.into_iter().map(|l| l.negate()).collect())
+}
+
+fn merge_combo(mut combo: Vec<(i128, LVar)>) -> Vec<(i128, LVar)> {
+    combo.sort_by_key(|&(_, v)| v);
+    let mut out: Vec<(i128, LVar)> = Vec::with_capacity(combo.len());
+    for (c, v) in combo {
+        if let Some(last) = out.last_mut() {
+            if last.1 == v {
+                last.0 += c;
+                continue;
+            }
+        }
+        out.push((c, v));
+    }
+    out.retain(|&(c, _)| c != 0);
+    out
+}

@@ -1,0 +1,379 @@
+//! The VerusSync DSL: sharded state machines (paper §3.4).
+//!
+//! A [`StateMachine`] declares *fields* tagged with a [`ShardStrategy`]
+//! (how the field decomposes into thread-ownable shards), *transitions*
+//! written as sequences of [`Op`]s (the paper's `require` / `update` /
+//! `remove` / `add` / `have` syntax), *invariants* over the aggregate
+//! state, and *properties* that follow from the invariants.
+//!
+//! The sharding strategies define the monoid of the underlying resource
+//! algebra; the developer never sees that formality — they state
+//! transitions and an inductive invariant, exactly as in the paper.
+
+use veris_vir::expr::Expr;
+use veris_vir::ty::Ty;
+
+/// How a field decomposes into shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// One shard holding the whole value; exclusive ownership.
+    Variable,
+    /// Immutable and freely duplicable; every thread may read it.
+    Constant,
+    /// One shard per key/value entry.
+    Map,
+    /// One shard per element.
+    Set,
+    /// A splittable counter: shards hold portions that sum to the total.
+    Count,
+}
+
+/// A field declaration.
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    pub strategy: ShardStrategy,
+    /// Key type (Map only).
+    pub key_ty: Option<Ty>,
+    /// Value type (element type for Set; () -> Nat for Count).
+    pub val_ty: Ty,
+}
+
+impl FieldDecl {
+    /// The VIR type of the aggregate field value.
+    pub fn aggregate_ty(&self) -> Ty {
+        match self.strategy {
+            ShardStrategy::Variable | ShardStrategy::Constant => self.val_ty.clone(),
+            ShardStrategy::Map => Ty::map(
+                self.key_ty.clone().expect("map field has a key type"),
+                self.val_ty.clone(),
+            ),
+            ShardStrategy::Set => Ty::set(self.val_ty.clone()),
+            ShardStrategy::Count => Ty::Nat,
+        }
+    }
+}
+
+/// One step of a transition body. Ops execute in order against the evolving
+/// aggregate state; guards accumulate as enabling conditions.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Enabling condition over the current (evolving) state and params.
+    Require(Expr),
+    /// Set a `variable` field (also used by `init!` for every strategy).
+    Update { field: String, value: Expr },
+    /// Map: remove the entry for `key`. `expect` constrains the removed
+    /// value; `bind` names it for later ops.
+    Remove {
+        field: String,
+        key: Expr,
+        expect: Option<Expr>,
+        bind: Option<String>,
+    },
+    /// Map: insert an entry. Inherent safety: the key must be absent —
+    /// proved as a well-formedness obligation.
+    Add {
+        field: String,
+        key: Expr,
+        value: Expr,
+    },
+    /// Map: assert (read-only) that the entry is present with this value.
+    Have {
+        field: String,
+        key: Expr,
+        value: Expr,
+    },
+    /// Set: insert an element (must be absent — obligation).
+    SetAdd { field: String, elem: Expr },
+    /// Set: remove an element (must be present — enabling condition).
+    SetRemove { field: String, elem: Expr },
+    /// Count: deposit an amount.
+    CountIncr { field: String, amount: Expr },
+    /// Count: withdraw an amount (enabling: current >= amount).
+    CountDecr { field: String, amount: Expr },
+    /// Assertion provable from the invariant + accumulated guards
+    /// (`assert` in transitions / `property!`).
+    Assert(Expr),
+    /// Bind a local name to an expression over the current state.
+    Let { name: String, value: Expr },
+}
+
+/// Transition kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// `init!`: no pre-state; every field must be initialized.
+    Init,
+    /// `transition!`: pre-state to post-state.
+    Transition,
+    /// `property!`: read-only; asserts must follow from the invariant.
+    Property,
+}
+
+/// A transition definition.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    pub name: String,
+    pub kind: TransitionKind,
+    pub params: Vec<(String, Ty)>,
+    pub ops: Vec<Op>,
+}
+
+/// A sharded-state-machine definition.
+#[derive(Clone, Debug, Default)]
+pub struct StateMachine {
+    pub name: String,
+    pub fields: Vec<FieldDecl>,
+    /// `#[invariant]` predicates over the aggregate state (field names are
+    /// free variables of the aggregate types).
+    pub invariants: Vec<Expr>,
+    pub transitions: Vec<Transition>,
+}
+
+impl StateMachine {
+    pub fn new(name: &str) -> StateMachine {
+        StateMachine {
+            name: name.to_owned(),
+            ..StateMachine::default()
+        }
+    }
+
+    pub fn field(mut self, name: &str, strategy: ShardStrategy, val_ty: Ty) -> StateMachine {
+        debug_assert!(
+            strategy != ShardStrategy::Map,
+            "use map_field for map-sharded fields"
+        );
+        self.fields.push(FieldDecl {
+            name: name.to_owned(),
+            strategy,
+            key_ty: None,
+            val_ty,
+        });
+        self
+    }
+
+    pub fn map_field(mut self, name: &str, key_ty: Ty, val_ty: Ty) -> StateMachine {
+        self.fields.push(FieldDecl {
+            name: name.to_owned(),
+            strategy: ShardStrategy::Map,
+            key_ty: Some(key_ty),
+            val_ty,
+        });
+        self
+    }
+
+    pub fn invariant(mut self, e: Expr) -> StateMachine {
+        self.invariants.push(e);
+        self
+    }
+
+    pub fn transition(mut self, t: Transition) -> StateMachine {
+        self.transitions.push(t);
+        self
+    }
+
+    pub fn find_field(&self, name: &str) -> Option<&FieldDecl> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    pub fn find_transition(&self, name: &str) -> Option<&Transition> {
+        self.transitions.iter().find(|t| t.name == name)
+    }
+}
+
+/// Builder for transitions.
+pub struct TransitionBuilder {
+    t: Transition,
+}
+
+impl TransitionBuilder {
+    pub fn init(name: &str) -> TransitionBuilder {
+        TransitionBuilder {
+            t: Transition {
+                name: name.to_owned(),
+                kind: TransitionKind::Init,
+                params: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    pub fn transition(name: &str) -> TransitionBuilder {
+        TransitionBuilder {
+            t: Transition {
+                name: name.to_owned(),
+                kind: TransitionKind::Transition,
+                params: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    pub fn property(name: &str) -> TransitionBuilder {
+        TransitionBuilder {
+            t: Transition {
+                name: name.to_owned(),
+                kind: TransitionKind::Property,
+                params: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    pub fn param(mut self, name: &str, ty: Ty) -> TransitionBuilder {
+        self.t.params.push((name.to_owned(), ty));
+        self
+    }
+
+    pub fn require(mut self, e: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Require(e));
+        self
+    }
+
+    pub fn update(mut self, field: &str, value: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Update {
+            field: field.to_owned(),
+            value,
+        });
+        self
+    }
+
+    pub fn init_field(self, field: &str, value: Expr) -> TransitionBuilder {
+        self.update(field, value)
+    }
+
+    pub fn remove(mut self, field: &str, key: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Remove {
+            field: field.to_owned(),
+            key,
+            expect: None,
+            bind: None,
+        });
+        self
+    }
+
+    pub fn remove_expect(mut self, field: &str, key: Expr, expect: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Remove {
+            field: field.to_owned(),
+            key,
+            expect: Some(expect),
+            bind: None,
+        });
+        self
+    }
+
+    pub fn remove_bind(mut self, field: &str, key: Expr, bind: &str) -> TransitionBuilder {
+        self.t.ops.push(Op::Remove {
+            field: field.to_owned(),
+            key,
+            expect: None,
+            bind: Some(bind.to_owned()),
+        });
+        self
+    }
+
+    pub fn add(mut self, field: &str, key: Expr, value: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Add {
+            field: field.to_owned(),
+            key,
+            value,
+        });
+        self
+    }
+
+    pub fn have(mut self, field: &str, key: Expr, value: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Have {
+            field: field.to_owned(),
+            key,
+            value,
+        });
+        self
+    }
+
+    pub fn set_add(mut self, field: &str, elem: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::SetAdd {
+            field: field.to_owned(),
+            elem,
+        });
+        self
+    }
+
+    pub fn set_remove(mut self, field: &str, elem: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::SetRemove {
+            field: field.to_owned(),
+            elem,
+        });
+        self
+    }
+
+    pub fn count_incr(mut self, field: &str, amount: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::CountIncr {
+            field: field.to_owned(),
+            amount,
+        });
+        self
+    }
+
+    pub fn count_decr(mut self, field: &str, amount: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::CountDecr {
+            field: field.to_owned(),
+            amount,
+        });
+        self
+    }
+
+    pub fn assert(mut self, e: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Assert(e));
+        self
+    }
+
+    pub fn let_(mut self, name: &str, value: Expr) -> TransitionBuilder {
+        self.t.ops.push(Op::Let {
+            name: name.to_owned(),
+            value,
+        });
+        self
+    }
+
+    pub fn build(self) -> Transition {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{int, var, ExprExt};
+
+    #[test]
+    fn figure4_agreement_machine_builds() {
+        // fields { #[sharding(variable)] a: int, b: int }
+        let a = var("a", Ty::Int);
+        let b = var("b", Ty::Int);
+        let sm = StateMachine::new("Agreement")
+            .field("a", ShardStrategy::Variable, Ty::Int)
+            .field("b", ShardStrategy::Variable, Ty::Int)
+            .invariant(a.eq_e(b.clone()))
+            .transition(
+                TransitionBuilder::init("initialize")
+                    .init_field("a", int(0))
+                    .init_field("b", int(0))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::transition("update")
+                    .param("val", Ty::Int)
+                    .update("a", var("val", Ty::Int))
+                    .update("b", var("val", Ty::Int))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::property("agreement")
+                    .assert(a.eq_e(b.clone()))
+                    .build(),
+            );
+        assert_eq!(sm.fields.len(), 2);
+        assert_eq!(sm.transitions.len(), 3);
+        assert!(sm.find_transition("update").is_some());
+        assert_eq!(sm.find_field("a").unwrap().aggregate_ty(), Ty::Int);
+    }
+}

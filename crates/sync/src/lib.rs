@@ -1,0 +1,24 @@
+//! # veris-sync — VerusSync (paper §3.4)
+//!
+//! A state-transition DSL for reasoning about sharded ghost state:
+//!
+//! - [`dsl`] — fields with sharding strategies (`variable`, `constant`,
+//!   `map`, `set`, `count`), transitions (`init!` / `transition!` /
+//!   `property!`) built from `require`/`update`/`remove`/`add`/`have` ops,
+//!   and inductive invariants;
+//! - [`obligations`] — compiles a machine into VIR proof functions
+//!   (init-establishes, transition-preserves, add-freshness, property)
+//!   discharged through `veris-vc`;
+//! - [`tokens`] — the runtime shard system: `Instance` + `Token` exchange
+//!   with dynamic protocol checking that mirrors the verified relation, and
+//!   `AtomicU64Ghost` pairing an atomic cell with a ghost shard (Figure 6).
+
+pub mod dsl;
+pub mod obligations;
+pub mod tokens;
+
+pub use dsl::{
+    FieldDecl, Op, ShardStrategy, StateMachine, Transition, TransitionBuilder, TransitionKind,
+};
+pub use obligations::{compile, verify_machine, verify_machine_default, SmError, SmReport};
+pub use tokens::{AtomicU64Ghost, Instance, ProtocolError, Token, TokenData};

@@ -1,0 +1,465 @@
+//! Compiling a VerusSync state machine into proof obligations (paper §3.4):
+//!
+//! - every `init!` establishes all `#[invariant]`s;
+//! - every `transition!` preserves them (inductiveness), with `require` /
+//!   `remove` / `have` as enabling assumptions;
+//! - every `add` carries its inherent safety condition (the key/element
+//!   must be fresh) as an obligation;
+//! - `assert`s inside transitions and `property!` bodies must follow from
+//!   the invariants and accumulated guards.
+//!
+//! The obligations are ordinary VIR proof functions discharged by
+//! `veris-vc` — the metatheory's claim that a well-formed VerusSync system
+//! is a valid resource algebra corresponds here to these functions all
+//! verifying.
+
+use std::collections::HashMap;
+
+use veris_vc::{verify_function, FnReport, VcConfig};
+use veris_vir::expr::{map_empty, set_empty, subst_vars, var, Expr, ExprExt};
+use veris_vir::module::{Function, Krate, Mode, Module};
+use veris_vir::stmt::Stmt;
+
+use crate::dsl::{Op, ShardStrategy, StateMachine, Transition, TransitionKind};
+
+/// A static (pre-SMT) error in the state-machine definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmError(pub String);
+
+impl std::fmt::Display for SmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Compile the state machine into a module of proof functions, one per
+/// transition, named `{sm}::{transition}`.
+pub fn compile(sm: &StateMachine) -> Result<Module, Vec<SmError>> {
+    let mut errors = Vec::new();
+    let mut module = Module::new(&sm.name);
+    for t in &sm.transitions {
+        match compile_transition(sm, t) {
+            Ok(f) => module.functions.push(f),
+            Err(e) => errors.push(e),
+        }
+    }
+    if errors.is_empty() {
+        Ok(module)
+    } else {
+        Err(errors)
+    }
+}
+
+fn field_var(sm: &StateMachine, name: &str) -> Expr {
+    let decl = sm.find_field(name).expect("field exists");
+    var(name, decl.aggregate_ty())
+}
+
+fn compile_transition(sm: &StateMachine, t: &Transition) -> Result<Function, SmError> {
+    let fname = format!("{}::{}", sm.name, t.name);
+    let mut f = Function::new(&fname, Mode::Proof);
+    for (p, ty) in &t.params {
+        f = f.param(p, ty.clone());
+    }
+    let is_init = t.kind == TransitionKind::Init;
+    // Pre-state: one parameter per field (except for init).
+    let mut cur: HashMap<String, Expr> = HashMap::new();
+    if !is_init {
+        for fd in &sm.fields {
+            f = f.param(&fd.name, fd.aggregate_ty());
+            cur.insert(fd.name.clone(), field_var(sm, &fd.name));
+        }
+        // Invariants over the pre-state are hypotheses.
+        for inv in &sm.invariants {
+            f = f.requires(inv.clone());
+        }
+    } else {
+        // Init: fields start "uninitialized"; every field must be set by an
+        // Update op before the end. Collections start empty; counts at 0.
+        for fd in &sm.fields {
+            let init_val = match fd.strategy {
+                ShardStrategy::Map => {
+                    map_empty(fd.key_ty.clone().expect("map key type"), fd.val_ty.clone())
+                }
+                ShardStrategy::Set => set_empty(fd.val_ty.clone()),
+                ShardStrategy::Count => veris_vir::expr::int(0),
+                _ => var(&format!("{}!uninit", fd.name), fd.aggregate_ty()),
+            };
+            cur.insert(fd.name.clone(), init_val);
+        }
+    }
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut initialized: Vec<String> = Vec::new();
+    for (i, op) in t.ops.iter().enumerate() {
+        // Substitute current field values into op expressions.
+        let sub = |e: &Expr| subst_vars(e, &cur);
+        match op {
+            Op::Require(e) => stmts.push(Stmt::Assume(sub(e))),
+            Op::Let { name, value } => {
+                stmts.push(Stmt::decl(name, value.ty(), sub(value)));
+            }
+            Op::Update { field, value } => {
+                let decl = sm
+                    .find_field(field)
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                if decl.strategy == ShardStrategy::Constant && !is_init {
+                    return Err(SmError(format!(
+                        "{fname}: constant field `{field}` cannot be updated"
+                    )));
+                }
+                cur.insert(field.clone(), sub(value));
+                if is_init && !initialized.contains(field) {
+                    initialized.push(field.clone());
+                }
+            }
+            Op::Remove {
+                field,
+                key,
+                expect,
+                bind,
+            } => {
+                let m = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let key = sub(key);
+                // Enabling: the shard exists.
+                stmts.push(Stmt::Assume(m.map_contains(key.clone())));
+                if let Some(e) = expect {
+                    stmts.push(Stmt::Assume(m.map_sel(key.clone()).eq_e(sub(e))));
+                }
+                if let Some(b) = bind {
+                    stmts.push(Stmt::decl(
+                        b,
+                        m.map_sel(key.clone()).ty(),
+                        m.map_sel(key.clone()),
+                    ));
+                }
+                cur.insert(field.clone(), m.map_remove(key));
+            }
+            Op::Add { field, key, value } => {
+                let m = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let key = sub(key);
+                let value = sub(value);
+                // Inherent safety condition: the key must be fresh.
+                stmts.push(Stmt::assert_labeled(
+                    m.map_contains(key.clone()).not(),
+                    &format!("{fname}: add #{i} key freshness"),
+                ));
+                cur.insert(field.clone(), m.map_store(key, value));
+            }
+            Op::Have { field, key, value } => {
+                let m = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let key = sub(key);
+                stmts.push(Stmt::Assume(m.map_contains(key.clone())));
+                stmts.push(Stmt::Assume(m.map_sel(key).eq_e(sub(value))));
+            }
+            Op::SetAdd { field, elem } => {
+                let s = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let elem = sub(elem);
+                stmts.push(Stmt::assert_labeled(
+                    s.set_mem(elem.clone()).not(),
+                    &format!("{fname}: set add #{i} freshness"),
+                ));
+                cur.insert(field.clone(), s.set_add(elem));
+            }
+            Op::SetRemove { field, elem } => {
+                let s = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let elem = sub(elem);
+                stmts.push(Stmt::Assume(s.set_mem(elem.clone())));
+                cur.insert(field.clone(), s.set_remove(elem));
+            }
+            Op::CountIncr { field, amount } => {
+                let c = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let amount = sub(amount);
+                stmts.push(Stmt::Assume(amount.ge(veris_vir::expr::int(0))));
+                cur.insert(field.clone(), c.add(amount));
+            }
+            Op::CountDecr { field, amount } => {
+                let c = cur
+                    .get(field)
+                    .cloned()
+                    .ok_or_else(|| SmError(format!("{fname}: unknown field `{field}`")))?;
+                let amount = sub(amount);
+                stmts.push(Stmt::Assume(amount.ge(veris_vir::expr::int(0))));
+                stmts.push(Stmt::Assume(c.ge(amount.clone())));
+                cur.insert(field.clone(), c.sub(amount));
+            }
+            Op::Assert(e) => {
+                stmts.push(Stmt::assert_labeled(
+                    sub(e),
+                    &format!("{fname}: assert #{i}"),
+                ));
+            }
+        }
+    }
+    if is_init {
+        for fd in &sm.fields {
+            let implicit = matches!(
+                fd.strategy,
+                ShardStrategy::Map | ShardStrategy::Set | ShardStrategy::Count
+            );
+            if !implicit && !initialized.contains(&fd.name) {
+                return Err(SmError(format!(
+                    "{fname}: init does not set field `{}`",
+                    fd.name
+                )));
+            }
+        }
+    }
+    // Inductiveness: invariants hold of the post-state.
+    if t.kind != TransitionKind::Property {
+        for (j, inv) in sm.invariants.iter().enumerate() {
+            let post_inv = subst_vars(inv, &cur);
+            stmts.push(Stmt::assert_labeled(
+                post_inv,
+                &format!("{fname}: invariant #{j} preserved"),
+            ));
+        }
+    }
+    Ok(f.stmts(stmts))
+}
+
+/// Report of verifying a whole state machine.
+#[derive(Clone, Debug)]
+pub struct SmReport {
+    pub machine: String,
+    pub transitions: Vec<FnReport>,
+    pub errors: Vec<SmError>,
+}
+
+impl SmReport {
+    pub fn all_verified(&self) -> bool {
+        self.errors.is_empty() && self.transitions.iter().all(|t| t.status.is_verified())
+    }
+
+    pub fn failures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.errors.iter().map(|e| e.0.clone()).collect();
+        for t in &self.transitions {
+            if !t.status.is_verified() {
+                out.push(format!("{}: {:?}", t.name, t.status));
+            }
+        }
+        out
+    }
+}
+
+/// Verify a state machine's obligations. `base` supplies spec functions and
+/// datatypes the invariants reference (may be an empty crate).
+pub fn verify_machine(sm: &StateMachine, base: &Krate, cfg: &VcConfig) -> SmReport {
+    let module = match compile(sm) {
+        Ok(m) => m,
+        Err(errors) => {
+            return SmReport {
+                machine: sm.name.clone(),
+                transitions: Vec::new(),
+                errors,
+            }
+        }
+    };
+    let mut krate = base.clone();
+    // The generated module imports everything in the base crate.
+    let mut module = module;
+    for m in &krate.modules {
+        module.imports.push(m.name.clone());
+    }
+    let names: Vec<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    krate.modules.push(module);
+    let transitions = names
+        .iter()
+        .map(|n| verify_function(&krate, n, cfg))
+        .collect();
+    SmReport {
+        machine: sm.name.clone(),
+        transitions,
+        errors: Vec::new(),
+    }
+}
+
+/// Convenience: verify with the default configuration.
+pub fn verify_machine_default(sm: &StateMachine) -> SmReport {
+    verify_machine(sm, &Krate::new(), &VcConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{ShardStrategy, StateMachine, TransitionBuilder};
+    use veris_vir::expr::{forall, int, var};
+    use veris_vir::ty::Ty;
+
+    fn agreement_machine() -> StateMachine {
+        let a = var("a", Ty::Int);
+        let b = var("b", Ty::Int);
+        StateMachine::new("Agreement")
+            .field("a", ShardStrategy::Variable, Ty::Int)
+            .field("b", ShardStrategy::Variable, Ty::Int)
+            .invariant(a.eq_e(b.clone()))
+            .transition(
+                TransitionBuilder::init("initialize")
+                    .init_field("a", int(0))
+                    .init_field("b", int(0))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::transition("update")
+                    .param("val", Ty::Int)
+                    .update("a", var("val", Ty::Int))
+                    .update("b", var("val", Ty::Int))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::property("agreement")
+                    .assert(a.eq_e(b.clone()))
+                    .build(),
+            )
+    }
+
+    #[test]
+    fn figure4_agreement_verifies() {
+        let sm = agreement_machine();
+        let rep = verify_machine_default(&sm);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+        assert_eq!(rep.transitions.len(), 3);
+    }
+
+    #[test]
+    fn broken_update_rejected() {
+        // Updating only `a` breaks the agreement invariant.
+        let a = var("a", Ty::Int);
+        let b = var("b", Ty::Int);
+        let sm = StateMachine::new("Broken")
+            .field("a", ShardStrategy::Variable, Ty::Int)
+            .field("b", ShardStrategy::Variable, Ty::Int)
+            .invariant(a.eq_e(b.clone()))
+            .transition(
+                TransitionBuilder::transition("update_one")
+                    .param("val", Ty::Int)
+                    .require(var("val", Ty::Int).ne_e(a.clone()))
+                    .update("a", var("val", Ty::Int))
+                    .build(),
+            );
+        let rep = verify_machine_default(&sm);
+        assert!(!rep.all_verified());
+    }
+
+    #[test]
+    fn map_sharded_versions() {
+        // local_versions: Map<int, int> with invariant "all values >= 0";
+        // reader_finish-style transition: remove then add a higher value.
+        let lv = var("local_versions", Ty::map(Ty::Int, Ty::Int));
+        let k = var("k", Ty::Int);
+        let inv = forall(
+            vec![("k", Ty::Int)],
+            lv.map_contains(k.clone())
+                .implies(lv.map_sel(k.clone()).ge(int(0))),
+            "versions_nonneg",
+        );
+        let sm = StateMachine::new("Versions")
+            .map_field("local_versions", Ty::Int, Ty::Int)
+            .invariant(inv)
+            .transition(TransitionBuilder::init("initialize").build())
+            .transition(
+                TransitionBuilder::transition("reader_finish")
+                    .param("node_id", Ty::Int)
+                    .param("end", Ty::Int)
+                    .require(var("end", Ty::Int).ge(int(0)))
+                    .remove_bind("local_versions", var("node_id", Ty::Int), "old_v")
+                    .add(
+                        "local_versions",
+                        var("node_id", Ty::Int),
+                        var("end", Ty::Int),
+                    )
+                    .build(),
+            );
+        let rep = verify_machine_default(&sm);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+    }
+
+    #[test]
+    fn add_without_remove_fails_freshness() {
+        // Adding a key that may already exist violates the inherent safety
+        // condition.
+        let sm = StateMachine::new("DoubleAdd")
+            .map_field("m", Ty::Int, Ty::Int)
+            .transition(
+                TransitionBuilder::transition("blind_add")
+                    .param("k", Ty::Int)
+                    .add("m", var("k", Ty::Int), int(1))
+                    .build(),
+            );
+        let rep = verify_machine_default(&sm);
+        assert!(!rep.all_verified());
+        assert!(rep.failures().iter().any(|f| f.contains("blind_add")));
+    }
+
+    #[test]
+    fn constant_field_update_rejected_statically() {
+        let sm = StateMachine::new("ConstBreak")
+            .field("size", ShardStrategy::Constant, Ty::Int)
+            .transition(
+                TransitionBuilder::init("initialize")
+                    .init_field("size", int(8))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::transition("resize")
+                    .update("size", int(16))
+                    .build(),
+            );
+        let rep = verify_machine_default(&sm);
+        assert!(!rep.errors.is_empty());
+    }
+
+    #[test]
+    fn count_strategy_conservation() {
+        // A counter with invariant total >= 0; withdraw requires funds.
+        let total = var("total", Ty::Nat);
+        let sm = StateMachine::new("Budget")
+            .field("total", ShardStrategy::Count, Ty::Nat)
+            .invariant(total.ge(int(0)))
+            .transition(TransitionBuilder::init("initialize").build())
+            .transition(
+                TransitionBuilder::transition("deposit")
+                    .param("n", Ty::Int)
+                    .count_incr("total", var("n", Ty::Int))
+                    .build(),
+            )
+            .transition(
+                TransitionBuilder::transition("withdraw")
+                    .param("n", Ty::Int)
+                    .count_decr("total", var("n", Ty::Int))
+                    .build(),
+            );
+        let rep = verify_machine_default(&sm);
+        assert!(rep.all_verified(), "{:?}", rep.failures());
+    }
+
+    #[test]
+    fn property_uses_invariant() {
+        let sm = agreement_machine();
+        let module = compile(&sm).unwrap();
+        // The property function carries the invariant as a hypothesis.
+        let prop = module
+            .functions
+            .iter()
+            .find(|f| f.name.contains("agreement"))
+            .unwrap();
+        assert!(!prop.requires.is_empty());
+    }
+}

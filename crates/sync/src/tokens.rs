@@ -1,0 +1,734 @@
+//! The runtime half of VerusSync: ghost *tokens* (shards) that threads own
+//! and exchange by invoking transitions on a shared [`Instance`].
+//!
+//! In Verus these tokens are zero-cost ghost types checked statically; here
+//! they are real (small) values checked *dynamically* against the same
+//! transition relation the static obligations verified — every `apply` call
+//! re-evaluates the `require` guards and shard accounting, so a protocol
+//! violation in executable code is caught at the exact transition that
+//! breaks it. Release builds can skip the checks via
+//! [`Instance::apply_unchecked`] once the machine's obligations verify.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use veris_vir::expr::Expr;
+use veris_vir::interp::{Interp, Value};
+use veris_vir::module::Krate;
+
+use crate::dsl::{Op, ShardStrategy, StateMachine, Transition, TransitionKind};
+
+/// A protocol violation detected at runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    UnknownTransition(String),
+    /// A `require` guard evaluated to false.
+    RequireFailed(String),
+    /// An `assert` inside the transition failed (indicates an unsound
+    /// invariant or a bug in this runtime — the static proof covers these).
+    AssertFailed(String),
+    /// The caller did not present a token the transition consumes.
+    MissingToken {
+        field: String,
+        detail: String,
+    },
+    /// Token belongs to another instance or field.
+    WrongInstance,
+    /// Add of an existing key (would duplicate a shard).
+    DuplicateShard {
+        field: String,
+    },
+    /// Expression evaluation failed.
+    Eval(String),
+    /// The token for a constant/variable field was presented twice etc.
+    Accounting(String),
+}
+
+/// Data carried by a token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenData {
+    Variable(Value),
+    Constant(Value),
+    MapEntry { key: Value, value: Value },
+    SetElem(Value),
+    Count(i128),
+}
+
+/// An ownable shard of a field of one state-machine instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub instance: u64,
+    pub field: String,
+    pub data: TokenData,
+}
+
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// A live instance of a state machine. The aggregate ghost state is kept
+/// under a mutex purely for dynamic checking; real data lives in the
+/// application's own (concurrent) structures.
+pub struct Instance {
+    pub id: u64,
+    sm: Arc<StateMachine>,
+    krate: Arc<Krate>,
+    ghost: Mutex<HashMap<String, Value>>,
+}
+
+impl Instance {
+    /// Run an `init!` transition, producing the instance and the initial
+    /// tokens for every field.
+    pub fn init(
+        sm: Arc<StateMachine>,
+        krate: Arc<Krate>,
+        init_name: &str,
+        params: Vec<(String, Value)>,
+    ) -> Result<(Arc<Instance>, Vec<Token>), ProtocolError> {
+        let t = sm
+            .find_transition(init_name)
+            .ok_or_else(|| ProtocolError::UnknownTransition(init_name.to_owned()))?
+            .clone();
+        if t.kind != TransitionKind::Init {
+            return Err(ProtocolError::UnknownTransition(format!(
+                "{init_name} is not an init!"
+            )));
+        }
+        // Start all fields at their empty values.
+        let mut state: HashMap<String, Value> = HashMap::new();
+        for fd in &sm.fields {
+            let v = match fd.strategy {
+                ShardStrategy::Map => Value::Map(vec![]),
+                ShardStrategy::Set => Value::Set(vec![]),
+                ShardStrategy::Count => Value::Int(0),
+                _ => Value::Int(0), // placeholder until Update
+            };
+            state.insert(fd.name.clone(), v);
+        }
+        let mut env: HashMap<String, Value> = params.into_iter().collect();
+        run_ops(&krate, &sm, &t, &mut state, &mut env, None)?;
+        let id = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        let inst = Arc::new(Instance {
+            id,
+            sm: sm.clone(),
+            krate,
+            ghost: Mutex::new(state.clone()),
+        });
+        // Mint the initial tokens.
+        let mut tokens = Vec::new();
+        for fd in &sm.fields {
+            let v = state[&fd.name].clone();
+            match fd.strategy {
+                ShardStrategy::Variable => tokens.push(Token {
+                    instance: id,
+                    field: fd.name.clone(),
+                    data: TokenData::Variable(v),
+                }),
+                ShardStrategy::Constant => tokens.push(Token {
+                    instance: id,
+                    field: fd.name.clone(),
+                    data: TokenData::Constant(v),
+                }),
+                ShardStrategy::Map => {
+                    if let Value::Map(entries) = v {
+                        for (k, val) in entries {
+                            tokens.push(Token {
+                                instance: id,
+                                field: fd.name.clone(),
+                                data: TokenData::MapEntry { key: k, value: val },
+                            });
+                        }
+                    }
+                }
+                ShardStrategy::Set => {
+                    if let Value::Set(elems) = v {
+                        for e in elems {
+                            tokens.push(Token {
+                                instance: id,
+                                field: fd.name.clone(),
+                                data: TokenData::SetElem(e),
+                            });
+                        }
+                    }
+                }
+                ShardStrategy::Count => {
+                    if let Value::Int(n) = v {
+                        tokens.push(Token {
+                            instance: id,
+                            field: fd.name.clone(),
+                            data: TokenData::Count(n),
+                        });
+                    }
+                }
+            }
+        }
+        Ok((inst, tokens))
+    }
+
+    /// Apply a transition: consume the presented tokens, check the protocol,
+    /// and return the replacement tokens.
+    pub fn apply(
+        &self,
+        name: &str,
+        params: Vec<(String, Value)>,
+        tokens_in: Vec<Token>,
+    ) -> Result<Vec<Token>, ProtocolError> {
+        for tok in &tokens_in {
+            if tok.instance != self.id {
+                return Err(ProtocolError::WrongInstance);
+            }
+        }
+        let t = self
+            .sm
+            .find_transition(name)
+            .ok_or_else(|| ProtocolError::UnknownTransition(name.to_owned()))?
+            .clone();
+        let mut ghost = self.ghost.lock();
+        let mut state = ghost.clone();
+        let mut env: HashMap<String, Value> = params.into_iter().collect();
+        let mut exchange = TokenExchange {
+            instance: self.id,
+            tokens_in,
+            tokens_out: Vec::new(),
+        };
+        run_ops(
+            &self.krate,
+            &self.sm,
+            &t,
+            &mut state,
+            &mut env,
+            Some(&mut exchange),
+        )?;
+        if t.kind == TransitionKind::Transition {
+            *ghost = state;
+        }
+        // Unconsumed read-only tokens flow back to the caller.
+        let mut out = exchange.tokens_out;
+        out.extend(exchange.tokens_in);
+        Ok(out)
+    }
+
+    /// Apply without dynamic protocol checking (release mode, once the
+    /// machine's obligations have been verified statically).
+    pub fn apply_unchecked(
+        &self,
+        name: &str,
+        params: Vec<(String, Value)>,
+        tokens_in: Vec<Token>,
+    ) -> Vec<Token> {
+        self.apply(name, params, tokens_in)
+            .expect("verified transition cannot fail")
+    }
+
+    /// Snapshot of the aggregate ghost state (testing/diagnostics).
+    pub fn ghost_state(&self) -> HashMap<String, Value> {
+        self.ghost.lock().clone()
+    }
+}
+
+struct TokenExchange {
+    instance: u64,
+    tokens_in: Vec<Token>,
+    tokens_out: Vec<Token>,
+}
+
+impl TokenExchange {
+    fn take_map_entry(&mut self, field: &str, key: &Value) -> Option<Token> {
+        let pos = self.tokens_in.iter().position(|t| {
+            t.field == field && matches!(&t.data, TokenData::MapEntry { key: k, .. } if k == key)
+        })?;
+        Some(self.tokens_in.remove(pos))
+    }
+
+    fn take_variable(&mut self, field: &str) -> Option<Token> {
+        let pos = self
+            .tokens_in
+            .iter()
+            .position(|t| t.field == field && matches!(t.data, TokenData::Variable(_)))?;
+        Some(self.tokens_in.remove(pos))
+    }
+
+    fn take_set_elem(&mut self, field: &str, elem: &Value) -> Option<Token> {
+        let pos = self.tokens_in.iter().position(|t| {
+            t.field == field && matches!(&t.data, TokenData::SetElem(e) if e == elem)
+        })?;
+        Some(self.tokens_in.remove(pos))
+    }
+
+    fn take_count(&mut self, field: &str, at_least: i128) -> Option<Token> {
+        let pos = self.tokens_in.iter().position(
+            |t| matches!(&t.data, TokenData::Count(n) if t.field == field && *n >= at_least),
+        )?;
+        Some(self.tokens_in.remove(pos))
+    }
+
+    fn emit(&mut self, field: &str, data: TokenData) {
+        self.tokens_out.push(Token {
+            instance: self.instance,
+            field: field.to_owned(),
+            data,
+        });
+    }
+}
+
+fn eval(
+    krate: &Krate,
+    e: &Expr,
+    state: &HashMap<String, Value>,
+    env: &HashMap<String, Value>,
+) -> Result<Value, ProtocolError> {
+    let mut merged = state.clone();
+    for (k, v) in env {
+        merged.insert(k.clone(), v.clone());
+    }
+    let mut it = Interp::new(krate);
+    it.eval(e, &merged, &merged)
+        .map_err(|t| ProtocolError::Eval(format!("{t:?}")))
+}
+
+fn run_ops(
+    krate: &Krate,
+    sm: &StateMachine,
+    t: &Transition,
+    state: &mut HashMap<String, Value>,
+    env: &mut HashMap<String, Value>,
+    mut exchange: Option<&mut TokenExchange>,
+) -> Result<(), ProtocolError> {
+    for op in &t.ops {
+        match op {
+            Op::Require(e) => {
+                let v = eval(krate, e, state, env)?;
+                if v != Value::Bool(true) {
+                    return Err(ProtocolError::RequireFailed(e.to_string()));
+                }
+            }
+            Op::Assert(e) => {
+                let v = eval(krate, e, state, env)?;
+                if v != Value::Bool(true) {
+                    return Err(ProtocolError::AssertFailed(e.to_string()));
+                }
+            }
+            Op::Let { name, value } => {
+                let v = eval(krate, value, state, env)?;
+                env.insert(name.clone(), v);
+            }
+            Op::Update { field, value } => {
+                let v = eval(krate, value, state, env)?;
+                if let Some(ex) = exchange.as_deref_mut() {
+                    let fd = sm.find_field(field).expect("field");
+                    if fd.strategy == ShardStrategy::Variable {
+                        ex.take_variable(field)
+                            .ok_or_else(|| ProtocolError::MissingToken {
+                                field: field.clone(),
+                                detail: "variable shard required for update".into(),
+                            })?;
+                        ex.emit(field, TokenData::Variable(v.clone()));
+                    }
+                }
+                state.insert(field.clone(), v);
+            }
+            Op::Remove {
+                field,
+                key,
+                expect,
+                bind,
+            } => {
+                let k = eval(krate, key, state, env)?;
+                let entries = match state.get_mut(field) {
+                    Some(Value::Map(m)) => m,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a map"))),
+                };
+                let pos = entries.iter().position(|(mk, _)| *mk == k).ok_or_else(|| {
+                    ProtocolError::MissingToken {
+                        field: field.clone(),
+                        detail: format!("no entry for key {k:?}"),
+                    }
+                })?;
+                let (_, removed) = entries.remove(pos);
+                if let Some(e) = expect {
+                    let want = eval(krate, e, state, env)?;
+                    if want != removed {
+                        return Err(ProtocolError::Accounting(format!(
+                            "removed value {removed:?} != expected {want:?}"
+                        )));
+                    }
+                }
+                if let Some(b) = bind {
+                    env.insert(b.clone(), removed.clone());
+                }
+                if let Some(ex) = exchange.as_deref_mut() {
+                    ex.take_map_entry(field, &k)
+                        .ok_or_else(|| ProtocolError::MissingToken {
+                            field: field.clone(),
+                            detail: format!("caller does not own shard for key {k:?}"),
+                        })?;
+                }
+            }
+            Op::Add { field, key, value } => {
+                let k = eval(krate, key, state, env)?;
+                let v = eval(krate, value, state, env)?;
+                let entries = match state.get_mut(field) {
+                    Some(Value::Map(m)) => m,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a map"))),
+                };
+                if entries.iter().any(|(mk, _)| *mk == k) {
+                    return Err(ProtocolError::DuplicateShard {
+                        field: field.clone(),
+                    });
+                }
+                entries.push((k.clone(), v.clone()));
+                if let Some(ex) = exchange.as_deref_mut() {
+                    ex.emit(field, TokenData::MapEntry { key: k, value: v });
+                }
+            }
+            Op::Have { field, key, value } => {
+                let k = eval(krate, key, state, env)?;
+                let want = eval(krate, value, state, env)?;
+                let entries = match state.get(field) {
+                    Some(Value::Map(m)) => m,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a map"))),
+                };
+                let found = entries.iter().find(|(mk, _)| *mk == k);
+                match found {
+                    Some((_, v)) if *v == want => {}
+                    other => {
+                        return Err(ProtocolError::MissingToken {
+                            field: field.clone(),
+                            detail: format!("have: expected {want:?}, found {other:?}"),
+                        })
+                    }
+                }
+                if let Some(ex) = exchange.as_deref_mut() {
+                    // Read-only: the token must be present; it is returned.
+                    let tok = ex.take_map_entry(field, &k).ok_or_else(|| {
+                        ProtocolError::MissingToken {
+                            field: field.clone(),
+                            detail: format!("have: caller does not own shard for key {k:?}"),
+                        }
+                    })?;
+                    ex.tokens_in.push(tok);
+                }
+            }
+            Op::SetAdd { field, elem } => {
+                let e = eval(krate, elem, state, env)?;
+                let elems = match state.get_mut(field) {
+                    Some(Value::Set(s)) => s,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a set"))),
+                };
+                if elems.contains(&e) {
+                    return Err(ProtocolError::DuplicateShard {
+                        field: field.clone(),
+                    });
+                }
+                elems.push(e.clone());
+                if let Some(ex) = exchange.as_deref_mut() {
+                    ex.emit(field, TokenData::SetElem(e));
+                }
+            }
+            Op::SetRemove { field, elem } => {
+                let e = eval(krate, elem, state, env)?;
+                let elems = match state.get_mut(field) {
+                    Some(Value::Set(s)) => s,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a set"))),
+                };
+                let pos = elems.iter().position(|x| *x == e).ok_or_else(|| {
+                    ProtocolError::MissingToken {
+                        field: field.clone(),
+                        detail: format!("no element {e:?}"),
+                    }
+                })?;
+                elems.remove(pos);
+                if let Some(ex) = exchange.as_deref_mut() {
+                    ex.take_set_elem(field, &e)
+                        .ok_or_else(|| ProtocolError::MissingToken {
+                            field: field.clone(),
+                            detail: format!("caller does not own element shard {e:?}"),
+                        })?;
+                }
+            }
+            Op::CountIncr { field, amount } => {
+                let n = match eval(krate, amount, state, env)? {
+                    Value::Int(n) if n >= 0 => n,
+                    v => return Err(ProtocolError::Eval(format!("bad count amount {v:?}"))),
+                };
+                if let Some(Value::Int(total)) = state.get_mut(field) {
+                    *total += n;
+                }
+                if let Some(ex) = exchange.as_deref_mut() {
+                    ex.emit(field, TokenData::Count(n));
+                }
+            }
+            Op::CountDecr { field, amount } => {
+                let n = match eval(krate, amount, state, env)? {
+                    Value::Int(n) if n >= 0 => n,
+                    v => return Err(ProtocolError::Eval(format!("bad count amount {v:?}"))),
+                };
+                let total = match state.get_mut(field) {
+                    Some(Value::Int(t)) => t,
+                    _ => return Err(ProtocolError::Accounting(format!("{field} not a count"))),
+                };
+                if *total < n {
+                    return Err(ProtocolError::RequireFailed(format!(
+                        "withdraw {n} exceeds total {total}"
+                    )));
+                }
+                *total -= n;
+                if let Some(ex) = exchange.as_deref_mut() {
+                    let tok =
+                        ex.take_count(field, n)
+                            .ok_or_else(|| ProtocolError::MissingToken {
+                                field: field.clone(),
+                                detail: format!("count shard of at least {n} required"),
+                            })?;
+                    if let TokenData::Count(have) = tok.data {
+                        if have > n {
+                            ex.emit(field, TokenData::Count(have - n));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An atomic cell paired with a ghost token, mirroring the paper's
+/// `AtomicU64<Shard>` (Figure 6): the physical value and the ghost shard are
+/// updated together under a short critical section, preserving a caller-
+/// supplied relation between them.
+pub struct AtomicU64Ghost {
+    value: AtomicU64,
+    token: Mutex<Option<Token>>,
+}
+
+impl AtomicU64Ghost {
+    pub fn new(value: u64, token: Token) -> AtomicU64Ghost {
+        AtomicU64Ghost {
+            value: AtomicU64::new(value),
+            token: Mutex::new(Some(token)),
+        }
+    }
+
+    /// Atomically read the physical value.
+    pub fn load(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Atomically update value and token together. The closure receives the
+    /// current pair and returns the new pair (typically by invoking an
+    /// [`Instance::apply`] transition with the token).
+    pub fn update<F>(&self, f: F) -> u64
+    where
+        F: FnOnce(u64, Token) -> (u64, Token),
+    {
+        let mut guard = self.token.lock();
+        let tok = guard.take().expect("token present");
+        let cur = self.value.load(Ordering::SeqCst);
+        let (new, new_tok) = f(cur, tok);
+        self.value.store(new, Ordering::SeqCst);
+        *guard = Some(new_tok);
+        new
+    }
+
+    /// Inspect the token under the lock (testing).
+    pub fn with_token<R>(&self, f: impl FnOnce(&Token) -> R) -> R {
+        let guard = self.token.lock();
+        f(guard.as_ref().expect("token present"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{ShardStrategy, StateMachine, TransitionBuilder};
+    use veris_vir::expr::{int, var, ExprExt};
+    use veris_vir::ty::Ty;
+
+    fn agreement() -> Arc<StateMachine> {
+        let a = var("a", Ty::Int);
+        let b = var("b", Ty::Int);
+        Arc::new(
+            StateMachine::new("Agreement")
+                .field("a", ShardStrategy::Variable, Ty::Int)
+                .field("b", ShardStrategy::Variable, Ty::Int)
+                .invariant(a.eq_e(b.clone()))
+                .transition(
+                    TransitionBuilder::init("initialize")
+                        .init_field("a", int(0))
+                        .init_field("b", int(0))
+                        .build(),
+                )
+                .transition(
+                    TransitionBuilder::transition("update")
+                        .param("val", Ty::Int)
+                        .update("a", var("val", Ty::Int))
+                        .update("b", var("val", Ty::Int))
+                        .build(),
+                ),
+        )
+    }
+
+    #[test]
+    fn init_mints_tokens() {
+        let (inst, tokens) =
+            Instance::init(agreement(), Arc::new(Krate::new()), "initialize", vec![]).unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert!(tokens.iter().all(|t| t.instance == inst.id));
+    }
+
+    #[test]
+    fn update_requires_both_tokens() {
+        let (inst, tokens) =
+            Instance::init(agreement(), Arc::new(Krate::new()), "initialize", vec![]).unwrap();
+        // With both tokens: fine.
+        let out = inst
+            .apply(
+                "update",
+                vec![("val".into(), Value::Int(7))],
+                tokens.clone(),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        for t in &out {
+            assert_eq!(t.data, TokenData::Variable(Value::Int(7)));
+        }
+        // With only one token: protocol violation.
+        let one = vec![out[0].clone()];
+        let err = inst
+            .apply("update", vec![("val".into(), Value::Int(9))], one)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::MissingToken { .. }));
+    }
+
+    #[test]
+    fn map_shard_exchange() {
+        let sm = Arc::new(
+            StateMachine::new("Vers")
+                .map_field("versions", Ty::Int, Ty::Int)
+                .transition(TransitionBuilder::init("initialize").build())
+                .transition(
+                    TransitionBuilder::transition("register")
+                        .param("node", Ty::Int)
+                        .add("versions", var("node", Ty::Int), int(0))
+                        .build(),
+                )
+                .transition(
+                    TransitionBuilder::transition("advance")
+                        .param("node", Ty::Int)
+                        .param("to", Ty::Int)
+                        .remove_bind("versions", var("node", Ty::Int), "old_v")
+                        .require(var("to", Ty::Int).ge(var("old_v", Ty::Int)))
+                        .add("versions", var("node", Ty::Int), var("to", Ty::Int))
+                        .build(),
+                ),
+        );
+        let (inst, tokens) =
+            Instance::init(sm, Arc::new(Krate::new()), "initialize", vec![]).unwrap();
+        assert!(tokens.is_empty());
+        // Register node 3: mints a shard for key 3.
+        let toks = inst
+            .apply("register", vec![("node".into(), Value::Int(3))], vec![])
+            .unwrap();
+        assert_eq!(toks.len(), 1);
+        // Advance node 3 to version 5, presenting the shard.
+        let toks = inst
+            .apply(
+                "advance",
+                vec![("node".into(), Value::Int(3)), ("to".into(), Value::Int(5))],
+                toks,
+            )
+            .unwrap();
+        assert_eq!(
+            toks[0].data,
+            TokenData::MapEntry {
+                key: Value::Int(3),
+                value: Value::Int(5)
+            }
+        );
+        // Advancing backwards violates the require.
+        let err = inst
+            .apply(
+                "advance",
+                vec![("node".into(), Value::Int(3)), ("to".into(), Value::Int(1))],
+                toks.clone(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::RequireFailed(_)));
+        // Registering node 3 again is a duplicate shard.
+        let err = inst
+            .apply("register", vec![("node".into(), Value::Int(3))], vec![])
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::DuplicateShard { .. }));
+    }
+
+    #[test]
+    fn concurrent_token_usage() {
+        // Many threads advance their own map shards concurrently; the ghost
+        // state stays consistent.
+        let sm = Arc::new(
+            StateMachine::new("VersC")
+                .map_field("versions", Ty::Int, Ty::Int)
+                .transition(TransitionBuilder::init("initialize").build())
+                .transition(
+                    TransitionBuilder::transition("register")
+                        .param("node", Ty::Int)
+                        .add("versions", var("node", Ty::Int), int(0))
+                        .build(),
+                )
+                .transition(
+                    TransitionBuilder::transition("advance")
+                        .param("node", Ty::Int)
+                        .param("to", Ty::Int)
+                        .remove_bind("versions", var("node", Ty::Int), "old_v")
+                        .require(var("to", Ty::Int).ge(var("old_v", Ty::Int)))
+                        .add("versions", var("node", Ty::Int), var("to", Ty::Int))
+                        .build(),
+                ),
+        );
+        let (inst, _) = Instance::init(sm, Arc::new(Krate::new()), "initialize", vec![]).unwrap();
+        let inst = Arc::new(inst);
+        crossbeam::thread::scope(|s| {
+            for node in 0..8i128 {
+                let inst = Arc::clone(&inst);
+                s.spawn(move |_| {
+                    let mut toks = inst
+                        .apply("register", vec![("node".into(), Value::Int(node))], vec![])
+                        .unwrap();
+                    for v in 1..=20i128 {
+                        toks = inst
+                            .apply(
+                                "advance",
+                                vec![
+                                    ("node".into(), Value::Int(node)),
+                                    ("to".into(), Value::Int(v)),
+                                ],
+                                toks,
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let ghost = inst.ghost_state();
+        if let Value::Map(entries) = &ghost["versions"] {
+            assert_eq!(entries.len(), 8);
+            assert!(entries.iter().all(|(_, v)| *v == Value::Int(20)));
+        } else {
+            panic!("versions is a map");
+        }
+    }
+
+    #[test]
+    fn atomic_ghost_pairing() {
+        let (inst, tokens) =
+            Instance::init(agreement(), Arc::new(Krate::new()), "initialize", vec![]).unwrap();
+        let _ = inst;
+        let cell = AtomicU64Ghost::new(0, tokens[0].clone());
+        let v = cell.update(|cur, tok| (cur + 1, tok));
+        assert_eq!(v, 1);
+        assert_eq!(cell.load(), 1);
+        cell.with_token(|t| assert_eq!(t.field, "a"));
+    }
+}

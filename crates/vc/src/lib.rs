@@ -1,0 +1,25 @@
+//! # veris-vc — verification-condition generation
+//!
+//! Turns VIR functions into SMT queries and runs them:
+//!
+//! - [`wp`] — weakest-precondition calculus with executable well-formedness
+//!   obligations (overflow, division by zero, shift bounds, variant checks)
+//!   and extraction of `assert ... by(prover)` side obligations;
+//! - [`ctx`] — VIR → SMT encoding with per-instance collection theories and
+//!   trigger-guarded spec-function definitional axioms (context pruning);
+//! - [`style`] — the encoding-style axis (Verus vs Dafny/F*/Prusti/Creusot
+//!   mechanisms) used by the paper's comparative evaluation;
+//! - [`verify`] — the driver: per-function reports, crate-level parallel
+//!   verification, query-size metrics, and time-to-error measurement.
+
+pub mod ctx;
+pub mod style;
+pub mod verify;
+pub mod wp;
+
+pub use style::Style;
+pub use verify::{
+    time_to_error, verify_function, verify_krate, FnReport, KrateReport, ProverOutcome,
+    ProverRegistry, Status, VcConfig,
+};
+pub use wp::{vc_for_function, SideObligation, WpResult};

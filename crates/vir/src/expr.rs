@@ -1,0 +1,836 @@
+//! VIR expressions.
+//!
+//! Expressions are immutable, reference-counted trees ([`Expr`] =
+//! `Rc<ExprX>`) with an ergonomic construction API: operator overloading for
+//! arithmetic and methods for comparisons, connectives, and collection
+//! operations. Every expression can report its type structurally
+//! ([`ExprX::ty`]); variables and calls carry their types inline.
+
+use std::fmt;
+use std::sync::Arc as Rc;
+
+use crate::ty::Ty;
+
+/// Shared expression handle.
+pub type Expr = Rc<ExprX>;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Euclidean division.
+    Div,
+    /// Euclidean remainder.
+    Mod,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Expression node.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprX {
+    BoolLit(bool),
+    /// Integer literal with its type (Int by default; may be a machine type).
+    IntLit(i128, Ty),
+    Var(String, Ty),
+    /// `old(x)` — the value of a mutable parameter at function entry.
+    Old(String, Ty),
+    Unary(UnOp, Expr),
+    Binary(BinOp, Expr, Expr),
+    Ite(Expr, Expr, Expr),
+    Let(String, Expr, Expr),
+    /// Call of a spec function (pure, total) in an expression.
+    Call(String, Vec<Expr>, Ty),
+    Quant {
+        forall: bool,
+        vars: Vec<(String, Ty)>,
+        /// Optional user triggers; empty means "infer".
+        triggers: Vec<Vec<Expr>>,
+        body: Expr,
+        qid: String,
+    },
+    // --- Seq ---
+    SeqEmpty(Ty),
+    SeqSingleton(Expr),
+    SeqLen(Expr),
+    SeqIndex(Expr, Expr),
+    SeqUpdate(Expr, Expr, Expr),
+    SeqSkip(Expr, Expr),
+    SeqTake(Expr, Expr),
+    SeqPush(Expr, Expr),
+    SeqConcat(Expr, Expr),
+    // --- Map ---
+    MapEmpty(Ty, Ty),
+    MapSel(Expr, Expr),
+    MapContains(Expr, Expr),
+    MapStore(Expr, Expr, Expr),
+    MapRemove(Expr, Expr),
+    // --- Set ---
+    SetEmpty(Ty),
+    SetMem(Expr, Expr),
+    SetAdd(Expr, Expr),
+    SetRemove(Expr, Expr),
+    // --- Datatypes & tuples ---
+    Ctor(String, String, Vec<(String, Expr)>),
+    Field(String, String, String, Expr, Ty),
+    IsVariant(String, String, Expr),
+    TupleMk(Vec<Expr>),
+    TupleField(usize, Expr, Ty),
+    /// Extensional equality `a =~= b` on Seq/Map/Set: proving it requires
+    /// pointwise equality; using it yields object equality (the encoder
+    /// instantiates the extensionality axiom for this pair).
+    ExtEqual(Expr, Expr),
+}
+
+impl ExprX {
+    /// Structural type of the expression.
+    pub fn ty(&self) -> Ty {
+        match self {
+            ExprX::BoolLit(_) => Ty::Bool,
+            ExprX::IntLit(_, t) => t.clone(),
+            ExprX::Var(_, t) | ExprX::Old(_, t) => t.clone(),
+            ExprX::Unary(UnOp::Not, _) => Ty::Bool,
+            ExprX::Unary(UnOp::Neg, _) => Ty::Int,
+            ExprX::Binary(op, a, b) => match op {
+                BinOp::And
+                | BinOp::Or
+                | BinOp::Implies
+                | BinOp::Iff
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge => Ty::Bool,
+                BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => a.ty(),
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    let (ta, tb) = (a.ty(), b.ty());
+                    if ta == tb {
+                        ta
+                    } else {
+                        Ty::Int
+                    }
+                }
+            },
+            ExprX::Ite(_, t, _) => t.ty(),
+            ExprX::Let(_, _, b) => b.ty(),
+            ExprX::Call(_, _, t) => t.clone(),
+            ExprX::Quant { .. } => Ty::Bool,
+            ExprX::SeqEmpty(t) => Ty::seq(t.clone()),
+            ExprX::SeqSingleton(e) => Ty::seq(e.ty()),
+            ExprX::SeqLen(_) => Ty::Int,
+            ExprX::SeqIndex(s, _) => match s.ty() {
+                Ty::Seq(t) => *t,
+                other => other,
+            },
+            ExprX::SeqUpdate(s, _, _)
+            | ExprX::SeqSkip(s, _)
+            | ExprX::SeqTake(s, _)
+            | ExprX::SeqPush(s, _)
+            | ExprX::SeqConcat(s, _) => s.ty(),
+            ExprX::MapEmpty(k, v) => Ty::map(k.clone(), v.clone()),
+            ExprX::MapSel(m, _) => match m.ty() {
+                Ty::Map(_, v) => *v,
+                other => other,
+            },
+            ExprX::MapContains(_, _) => Ty::Bool,
+            ExprX::MapStore(m, _, _) | ExprX::MapRemove(m, _) => m.ty(),
+            ExprX::SetEmpty(t) => Ty::set(t.clone()),
+            ExprX::SetMem(_, _) => Ty::Bool,
+            ExprX::SetAdd(s, _) | ExprX::SetRemove(s, _) => s.ty(),
+            ExprX::Ctor(dt, _, _) => Ty::Datatype(dt.clone()),
+            ExprX::Field(_, _, _, _, t) => t.clone(),
+            ExprX::IsVariant(_, _, _) => Ty::Bool,
+            ExprX::TupleMk(es) => Ty::Tuple(es.iter().map(|e| e.ty()).collect()),
+            ExprX::TupleField(_, _, t) => t.clone(),
+            ExprX::ExtEqual(_, _) => Ty::Bool,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Construction API
+// ----------------------------------------------------------------------
+
+pub fn tru() -> Expr {
+    Rc::new(ExprX::BoolLit(true))
+}
+
+pub fn fals() -> Expr {
+    Rc::new(ExprX::BoolLit(false))
+}
+
+pub fn int(v: i128) -> Expr {
+    Rc::new(ExprX::IntLit(v, Ty::Int))
+}
+
+pub fn lit(v: i128, ty: Ty) -> Expr {
+    Rc::new(ExprX::IntLit(v, ty))
+}
+
+pub fn var(name: &str, ty: Ty) -> Expr {
+    Rc::new(ExprX::Var(name.to_owned(), ty))
+}
+
+pub fn old(name: &str, ty: Ty) -> Expr {
+    Rc::new(ExprX::Old(name.to_owned(), ty))
+}
+
+pub fn call(name: &str, args: Vec<Expr>, ret: Ty) -> Expr {
+    Rc::new(ExprX::Call(name.to_owned(), args, ret))
+}
+
+pub fn binary(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Rc::new(ExprX::Binary(op, a, b))
+}
+
+pub fn forall(vars: Vec<(&str, Ty)>, body: Expr, qid: &str) -> Expr {
+    Rc::new(ExprX::Quant {
+        forall: true,
+        vars: vars.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+        triggers: vec![],
+        body,
+        qid: qid.to_owned(),
+    })
+}
+
+pub fn forall_trig(vars: Vec<(&str, Ty)>, triggers: Vec<Vec<Expr>>, body: Expr, qid: &str) -> Expr {
+    Rc::new(ExprX::Quant {
+        forall: true,
+        vars: vars.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+        triggers,
+        body,
+        qid: qid.to_owned(),
+    })
+}
+
+pub fn exists(vars: Vec<(&str, Ty)>, body: Expr, qid: &str) -> Expr {
+    Rc::new(ExprX::Quant {
+        forall: false,
+        vars: vars.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+        triggers: vec![],
+        body,
+        qid: qid.to_owned(),
+    })
+}
+
+pub fn let_in(name: &str, value: Expr, body: Expr) -> Expr {
+    Rc::new(ExprX::Let(name.to_owned(), value, body))
+}
+
+pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+    Rc::new(ExprX::Ite(c, t, e))
+}
+
+pub fn ctor(dt: &str, variant: &str, fields: Vec<(&str, Expr)>) -> Expr {
+    Rc::new(ExprX::Ctor(
+        dt.to_owned(),
+        variant.to_owned(),
+        fields.into_iter().map(|(n, e)| (n.to_owned(), e)).collect(),
+    ))
+}
+
+pub fn seq_empty(elem: Ty) -> Expr {
+    Rc::new(ExprX::SeqEmpty(elem))
+}
+
+pub fn seq_singleton(e: Expr) -> Expr {
+    Rc::new(ExprX::SeqSingleton(e))
+}
+
+pub fn map_empty(k: Ty, v: Ty) -> Expr {
+    Rc::new(ExprX::MapEmpty(k, v))
+}
+
+pub fn set_empty(elem: Ty) -> Expr {
+    Rc::new(ExprX::SetEmpty(elem))
+}
+
+pub fn tuple(es: Vec<Expr>) -> Expr {
+    Rc::new(ExprX::TupleMk(es))
+}
+
+/// Fluent methods on expressions.
+pub trait ExprExt {
+    fn expr(&self) -> Expr;
+
+    fn not(&self) -> Expr {
+        Rc::new(ExprX::Unary(UnOp::Not, self.expr()))
+    }
+
+    fn neg(&self) -> Expr {
+        Rc::new(ExprX::Unary(UnOp::Neg, self.expr()))
+    }
+
+    fn and(&self, o: Expr) -> Expr {
+        binary(BinOp::And, self.expr(), o)
+    }
+
+    fn or(&self, o: Expr) -> Expr {
+        binary(BinOp::Or, self.expr(), o)
+    }
+
+    fn implies(&self, o: Expr) -> Expr {
+        binary(BinOp::Implies, self.expr(), o)
+    }
+
+    fn iff(&self, o: Expr) -> Expr {
+        binary(BinOp::Iff, self.expr(), o)
+    }
+
+    fn eq_e(&self, o: Expr) -> Expr {
+        binary(BinOp::Eq, self.expr(), o)
+    }
+
+    fn ne_e(&self, o: Expr) -> Expr {
+        binary(BinOp::Ne, self.expr(), o)
+    }
+
+    fn lt(&self, o: Expr) -> Expr {
+        binary(BinOp::Lt, self.expr(), o)
+    }
+
+    fn le(&self, o: Expr) -> Expr {
+        binary(BinOp::Le, self.expr(), o)
+    }
+
+    fn gt(&self, o: Expr) -> Expr {
+        binary(BinOp::Gt, self.expr(), o)
+    }
+
+    fn ge(&self, o: Expr) -> Expr {
+        binary(BinOp::Ge, self.expr(), o)
+    }
+
+    fn add(&self, o: Expr) -> Expr {
+        binary(BinOp::Add, self.expr(), o)
+    }
+
+    fn sub(&self, o: Expr) -> Expr {
+        binary(BinOp::Sub, self.expr(), o)
+    }
+
+    fn mul(&self, o: Expr) -> Expr {
+        binary(BinOp::Mul, self.expr(), o)
+    }
+
+    fn div(&self, o: Expr) -> Expr {
+        binary(BinOp::Div, self.expr(), o)
+    }
+
+    fn modulo(&self, o: Expr) -> Expr {
+        binary(BinOp::Mod, self.expr(), o)
+    }
+
+    fn bit_and(&self, o: Expr) -> Expr {
+        binary(BinOp::BitAnd, self.expr(), o)
+    }
+
+    fn bit_or(&self, o: Expr) -> Expr {
+        binary(BinOp::BitOr, self.expr(), o)
+    }
+
+    fn bit_xor(&self, o: Expr) -> Expr {
+        binary(BinOp::BitXor, self.expr(), o)
+    }
+
+    fn shl(&self, o: Expr) -> Expr {
+        binary(BinOp::Shl, self.expr(), o)
+    }
+
+    fn shr(&self, o: Expr) -> Expr {
+        binary(BinOp::Shr, self.expr(), o)
+    }
+
+    // --- Seq ---
+    fn seq_len(&self) -> Expr {
+        Rc::new(ExprX::SeqLen(self.expr()))
+    }
+
+    fn seq_index(&self, i: Expr) -> Expr {
+        Rc::new(ExprX::SeqIndex(self.expr(), i))
+    }
+
+    fn seq_update(&self, i: Expr, v: Expr) -> Expr {
+        Rc::new(ExprX::SeqUpdate(self.expr(), i, v))
+    }
+
+    fn seq_skip(&self, n: Expr) -> Expr {
+        Rc::new(ExprX::SeqSkip(self.expr(), n))
+    }
+
+    fn seq_take(&self, n: Expr) -> Expr {
+        Rc::new(ExprX::SeqTake(self.expr(), n))
+    }
+
+    fn seq_push(&self, v: Expr) -> Expr {
+        Rc::new(ExprX::SeqPush(self.expr(), v))
+    }
+
+    fn seq_concat(&self, o: Expr) -> Expr {
+        Rc::new(ExprX::SeqConcat(self.expr(), o))
+    }
+
+    // --- Map ---
+    fn map_sel(&self, k: Expr) -> Expr {
+        Rc::new(ExprX::MapSel(self.expr(), k))
+    }
+
+    fn map_contains(&self, k: Expr) -> Expr {
+        Rc::new(ExprX::MapContains(self.expr(), k))
+    }
+
+    fn map_store(&self, k: Expr, v: Expr) -> Expr {
+        Rc::new(ExprX::MapStore(self.expr(), k, v))
+    }
+
+    fn map_remove(&self, k: Expr) -> Expr {
+        Rc::new(ExprX::MapRemove(self.expr(), k))
+    }
+
+    // --- Set ---
+    fn set_mem(&self, e: Expr) -> Expr {
+        Rc::new(ExprX::SetMem(self.expr(), e))
+    }
+
+    fn set_add(&self, e: Expr) -> Expr {
+        Rc::new(ExprX::SetAdd(self.expr(), e))
+    }
+
+    fn set_remove(&self, e: Expr) -> Expr {
+        Rc::new(ExprX::SetRemove(self.expr(), e))
+    }
+
+    // --- Datatypes ---
+    fn field(&self, dt: &str, variant: &str, field: &str, ty: Ty) -> Expr {
+        Rc::new(ExprX::Field(
+            dt.to_owned(),
+            variant.to_owned(),
+            field.to_owned(),
+            self.expr(),
+            ty,
+        ))
+    }
+
+    fn is_variant(&self, dt: &str, variant: &str) -> Expr {
+        Rc::new(ExprX::IsVariant(
+            dt.to_owned(),
+            variant.to_owned(),
+            self.expr(),
+        ))
+    }
+
+    /// `self =~= other` (extensional equality on collections).
+    fn ext_eq(&self, o: Expr) -> Expr {
+        Rc::new(ExprX::ExtEqual(self.expr(), o))
+    }
+
+    fn tuple_field(&self, idx: usize, ty: Ty) -> Expr {
+        Rc::new(ExprX::TupleField(idx, self.expr(), ty))
+    }
+}
+
+impl ExprExt for Expr {
+    fn expr(&self) -> Expr {
+        self.clone()
+    }
+}
+
+/// Conjoin a list of expressions (true if empty).
+pub fn and_all(es: Vec<Expr>) -> Expr {
+    es.into_iter().reduce(|a, b| a.and(b)).unwrap_or_else(tru)
+}
+
+/// Disjoin a list of expressions (false if empty).
+pub fn or_all(es: Vec<Expr>) -> Expr {
+    es.into_iter().reduce(|a, b| a.or(b)).unwrap_or_else(fals)
+}
+
+// ----------------------------------------------------------------------
+// Traversal / substitution
+// ----------------------------------------------------------------------
+
+/// Immediate children of an expression.
+pub fn children(e: &Expr) -> Vec<Expr> {
+    match &**e {
+        ExprX::BoolLit(_)
+        | ExprX::IntLit(..)
+        | ExprX::Var(..)
+        | ExprX::Old(..)
+        | ExprX::SeqEmpty(_)
+        | ExprX::MapEmpty(..)
+        | ExprX::SetEmpty(_) => vec![],
+        ExprX::Unary(_, a)
+        | ExprX::SeqLen(a)
+        | ExprX::SeqSingleton(a)
+        | ExprX::Field(_, _, _, a, _)
+        | ExprX::IsVariant(_, _, a)
+        | ExprX::TupleField(_, a, _) => vec![a.clone()],
+        ExprX::Binary(_, a, b)
+        | ExprX::Let(_, a, b)
+        | ExprX::SeqIndex(a, b)
+        | ExprX::SeqSkip(a, b)
+        | ExprX::SeqTake(a, b)
+        | ExprX::SeqPush(a, b)
+        | ExprX::SeqConcat(a, b)
+        | ExprX::MapSel(a, b)
+        | ExprX::MapContains(a, b)
+        | ExprX::MapRemove(a, b)
+        | ExprX::SetMem(a, b)
+        | ExprX::SetAdd(a, b)
+        | ExprX::SetRemove(a, b)
+        | ExprX::ExtEqual(a, b) => vec![a.clone(), b.clone()],
+        ExprX::Ite(a, b, c) | ExprX::SeqUpdate(a, b, c) | ExprX::MapStore(a, b, c) => {
+            vec![a.clone(), b.clone(), c.clone()]
+        }
+        ExprX::Call(_, args, _) | ExprX::TupleMk(args) => args.clone(),
+        ExprX::Quant { body, .. } => vec![body.clone()],
+        ExprX::Ctor(_, _, fields) => fields.iter().map(|(_, e)| e.clone()).collect(),
+    }
+}
+
+/// Substitute free variables by name. Bound occurrences (quantifier or let
+/// binders) shadow the substitution.
+pub fn subst_vars(e: &Expr, map: &std::collections::HashMap<String, Expr>) -> Expr {
+    match &**e {
+        ExprX::Var(name, _) => map.get(name).cloned().unwrap_or_else(|| e.clone()),
+        ExprX::Quant {
+            forall,
+            vars,
+            triggers,
+            body,
+            qid,
+        } => {
+            let mut inner = map.clone();
+            for (n, _) in vars {
+                inner.remove(n);
+            }
+            Rc::new(ExprX::Quant {
+                forall: *forall,
+                vars: vars.clone(),
+                triggers: triggers
+                    .iter()
+                    .map(|g| g.iter().map(|p| subst_vars(p, &inner)).collect())
+                    .collect(),
+                body: subst_vars(body, &inner),
+                qid: qid.clone(),
+            })
+        }
+        ExprX::Let(n, v, body) => {
+            let v2 = subst_vars(v, map);
+            let mut inner = map.clone();
+            inner.remove(n);
+            Rc::new(ExprX::Let(n.clone(), v2, subst_vars(body, &inner)))
+        }
+        _ => {
+            let kids = children(e);
+            if kids.is_empty() {
+                return e.clone();
+            }
+            let new_kids: Vec<Expr> = kids.iter().map(|k| subst_vars(k, map)).collect();
+            rebuild(e, &new_kids)
+        }
+    }
+}
+
+/// Rebuild an expression with new children (order of [`children`]).
+pub fn rebuild(e: &Expr, kids: &[Expr]) -> Expr {
+    match &**e {
+        ExprX::BoolLit(_)
+        | ExprX::IntLit(..)
+        | ExprX::Var(..)
+        | ExprX::Old(..)
+        | ExprX::SeqEmpty(_)
+        | ExprX::MapEmpty(..)
+        | ExprX::SetEmpty(_) => e.clone(),
+        ExprX::Unary(op, _) => Rc::new(ExprX::Unary(*op, kids[0].clone())),
+        ExprX::Binary(op, _, _) => Rc::new(ExprX::Binary(*op, kids[0].clone(), kids[1].clone())),
+        ExprX::Ite(..) => Rc::new(ExprX::Ite(
+            kids[0].clone(),
+            kids[1].clone(),
+            kids[2].clone(),
+        )),
+        ExprX::Let(n, _, _) => Rc::new(ExprX::Let(n.clone(), kids[0].clone(), kids[1].clone())),
+        ExprX::Call(n, _, t) => Rc::new(ExprX::Call(n.clone(), kids.to_vec(), t.clone())),
+        ExprX::Quant {
+            forall,
+            vars,
+            triggers,
+            qid,
+            ..
+        } => Rc::new(ExprX::Quant {
+            forall: *forall,
+            vars: vars.clone(),
+            triggers: triggers.clone(),
+            body: kids[0].clone(),
+            qid: qid.clone(),
+        }),
+        ExprX::SeqSingleton(_) => Rc::new(ExprX::SeqSingleton(kids[0].clone())),
+        ExprX::SeqLen(_) => Rc::new(ExprX::SeqLen(kids[0].clone())),
+        ExprX::SeqIndex(..) => Rc::new(ExprX::SeqIndex(kids[0].clone(), kids[1].clone())),
+        ExprX::SeqUpdate(..) => Rc::new(ExprX::SeqUpdate(
+            kids[0].clone(),
+            kids[1].clone(),
+            kids[2].clone(),
+        )),
+        ExprX::SeqSkip(..) => Rc::new(ExprX::SeqSkip(kids[0].clone(), kids[1].clone())),
+        ExprX::SeqTake(..) => Rc::new(ExprX::SeqTake(kids[0].clone(), kids[1].clone())),
+        ExprX::SeqPush(..) => Rc::new(ExprX::SeqPush(kids[0].clone(), kids[1].clone())),
+        ExprX::SeqConcat(..) => Rc::new(ExprX::SeqConcat(kids[0].clone(), kids[1].clone())),
+        ExprX::MapSel(..) => Rc::new(ExprX::MapSel(kids[0].clone(), kids[1].clone())),
+        ExprX::MapContains(..) => Rc::new(ExprX::MapContains(kids[0].clone(), kids[1].clone())),
+        ExprX::MapStore(..) => Rc::new(ExprX::MapStore(
+            kids[0].clone(),
+            kids[1].clone(),
+            kids[2].clone(),
+        )),
+        ExprX::MapRemove(..) => Rc::new(ExprX::MapRemove(kids[0].clone(), kids[1].clone())),
+        ExprX::SetMem(..) => Rc::new(ExprX::SetMem(kids[0].clone(), kids[1].clone())),
+        ExprX::SetAdd(..) => Rc::new(ExprX::SetAdd(kids[0].clone(), kids[1].clone())),
+        ExprX::SetRemove(..) => Rc::new(ExprX::SetRemove(kids[0].clone(), kids[1].clone())),
+        ExprX::Ctor(dt, v, fields) => Rc::new(ExprX::Ctor(
+            dt.clone(),
+            v.clone(),
+            fields
+                .iter()
+                .zip(kids.iter())
+                .map(|((n, _), k)| (n.clone(), k.clone()))
+                .collect(),
+        )),
+        ExprX::Field(dt, v, f, _, t) => Rc::new(ExprX::Field(
+            dt.clone(),
+            v.clone(),
+            f.clone(),
+            kids[0].clone(),
+            t.clone(),
+        )),
+        ExprX::IsVariant(dt, v, _) => {
+            Rc::new(ExprX::IsVariant(dt.clone(), v.clone(), kids[0].clone()))
+        }
+        ExprX::TupleMk(_) => Rc::new(ExprX::TupleMk(kids.to_vec())),
+        ExprX::TupleField(i, _, t) => Rc::new(ExprX::TupleField(*i, kids[0].clone(), t.clone())),
+        ExprX::ExtEqual(..) => Rc::new(ExprX::ExtEqual(kids[0].clone(), kids[1].clone())),
+    }
+}
+
+/// Free variables of an expression (names bound by quantifiers/lets are
+/// excluded).
+pub fn free_vars(e: &Expr) -> Vec<(String, Ty)> {
+    let mut out = Vec::new();
+    let mut bound = Vec::new();
+    collect_free(e, &mut bound, &mut out);
+    out
+}
+
+fn collect_free(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<(String, Ty)>) {
+    match &**e {
+        ExprX::Var(n, t) => {
+            if !bound.contains(n) && !out.iter().any(|(m, _)| m == n) {
+                out.push((n.clone(), t.clone()));
+            }
+        }
+        ExprX::Quant { vars, body, .. } => {
+            let depth = bound.len();
+            bound.extend(vars.iter().map(|(n, _)| n.clone()));
+            collect_free(body, bound, out);
+            bound.truncate(depth);
+        }
+        ExprX::Let(n, v, body) => {
+            collect_free(v, bound, out);
+            bound.push(n.clone());
+            collect_free(body, bound, out);
+            bound.pop();
+        }
+        _ => {
+            for k in children(e) {
+                collect_free(&k, bound, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ExprX {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprX::BoolLit(b) => write!(f, "{b}"),
+            ExprX::IntLit(v, _) => write!(f, "{v}"),
+            ExprX::Var(n, _) => write!(f, "{n}"),
+            ExprX::Old(n, _) => write!(f, "old({n})"),
+            ExprX::Unary(UnOp::Not, a) => write!(f, "!({a})"),
+            ExprX::Unary(UnOp::Neg, a) => write!(f, "-({a})"),
+            ExprX::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                    BinOp::Implies => "==>",
+                    BinOp::Iff => "<==>",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::BitAnd => "&",
+                    BinOp::BitOr => "|",
+                    BinOp::BitXor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            ExprX::Ite(c, t, e) => write!(f, "(if {c} {{ {t} }} else {{ {e} }})"),
+            ExprX::Let(n, v, b) => write!(f, "(let {n} = {v}; {b})"),
+            ExprX::Call(n, args, _) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            ExprX::Quant {
+                forall, vars, body, ..
+            } => {
+                write!(f, "({} |", if *forall { "forall" } else { "exists" })?;
+                for (i, (n, t)) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, "| {body})")
+            }
+            ExprX::SeqEmpty(_) => write!(f, "seq![]"),
+            ExprX::SeqSingleton(e) => write!(f, "seq![{e}]"),
+            ExprX::SeqLen(s) => write!(f, "{s}.len()"),
+            ExprX::SeqIndex(s, i) => write!(f, "{s}[{i}]"),
+            ExprX::SeqUpdate(s, i, v) => write!(f, "{s}.update({i}, {v})"),
+            ExprX::SeqSkip(s, n) => write!(f, "{s}.skip({n})"),
+            ExprX::SeqTake(s, n) => write!(f, "{s}.take({n})"),
+            ExprX::SeqPush(s, v) => write!(f, "{s}.push({v})"),
+            ExprX::SeqConcat(a, b) => write!(f, "{a} + {b}"),
+            ExprX::MapEmpty(..) => write!(f, "map![]"),
+            ExprX::MapSel(m, k) => write!(f, "{m}[{k}]"),
+            ExprX::MapContains(m, k) => write!(f, "{m}.contains({k})"),
+            ExprX::MapStore(m, k, v) => write!(f, "{m}.insert({k}, {v})"),
+            ExprX::MapRemove(m, k) => write!(f, "{m}.remove({k})"),
+            ExprX::SetEmpty(_) => write!(f, "set![]"),
+            ExprX::SetMem(s, e) => write!(f, "{s}.contains({e})"),
+            ExprX::SetAdd(s, e) => write!(f, "{s}.insert({e})"),
+            ExprX::SetRemove(s, e) => write!(f, "{s}.remove({e})"),
+            ExprX::Ctor(dt, v, fields) => {
+                write!(f, "{dt}::{v} {{")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, " {n}: {e}")?;
+                }
+                write!(f, " }}")
+            }
+            ExprX::Field(_, _, field, e, _) => write!(f, "{e}.{field}"),
+            ExprX::IsVariant(_, v, e) => write!(f, "{e} is {v}"),
+            ExprX::TupleMk(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ExprX::TupleField(i, e, _) => write!(f, "{e}.{i}"),
+            ExprX::ExtEqual(a, b) => write!(f, "({a} =~= {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_types() {
+        let x = var("x", Ty::UInt(64));
+        let y = var("y", Ty::UInt(64));
+        let sum = x.add(y.clone());
+        assert_eq!(sum.ty(), Ty::UInt(64));
+        let cmp = sum.le(lit(100, Ty::UInt(64)));
+        assert_eq!(cmp.ty(), Ty::Bool);
+    }
+
+    #[test]
+    fn mixed_arith_widens_to_int() {
+        let x = var("x", Ty::UInt(8));
+        let n = var("n", Ty::Int);
+        assert_eq!(x.add(n).ty(), Ty::Int);
+    }
+
+    #[test]
+    fn seq_types() {
+        let s = var("s", Ty::seq(Ty::Int));
+        assert_eq!(s.seq_len().ty(), Ty::Int);
+        assert_eq!(s.seq_index(int(0)).ty(), Ty::Int);
+        assert_eq!(s.seq_skip(int(1)).ty(), Ty::seq(Ty::Int));
+    }
+
+    #[test]
+    fn subst_respects_binders() {
+        let x = var("x", Ty::Int);
+        let body = x.ge(int(0));
+        let q = forall(vec![("x", Ty::Int)], body.clone(), "q");
+        let mut m = std::collections::HashMap::new();
+        m.insert("x".to_owned(), int(5));
+        // Free occurrence substituted.
+        assert_eq!(subst_vars(&body, &m), int(5).ge(int(0)));
+        // Bound occurrence untouched.
+        assert_eq!(subst_vars(&q, &m), q);
+    }
+
+    #[test]
+    fn free_vars_excludes_bound() {
+        let x = var("x", Ty::Int);
+        let y = var("y", Ty::Int);
+        let body = x.le(y.clone());
+        let q = forall(vec![("x", Ty::Int)], body, "q");
+        let fv = free_vars(&q);
+        assert_eq!(fv, vec![("y".to_owned(), Ty::Int)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = var("x", Ty::Int);
+        let e = x.add(int(1)).le(int(10));
+        assert_eq!(e.to_string(), "((x + 1) <= 10)");
+    }
+}

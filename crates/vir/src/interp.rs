@@ -1,0 +1,755 @@
+//! A reference interpreter for VIR.
+//!
+//! Two uses:
+//! 1. the semantic ground truth for property-testing the WP calculus
+//!    (a valid VC must imply the interpreter never traps);
+//! 2. the engine behind `by(compute)` proofs (symbolic/concrete evaluation).
+//!
+//! Machine-integer arithmetic traps on overflow (exec semantics); `Int`/`Nat`
+//! arithmetic is unbounded.
+
+use std::collections::HashMap;
+use std::sync::Arc as Rc;
+
+use crate::expr::{BinOp, Expr, ExprX, UnOp};
+use crate::module::{FnBody, Krate, Mode};
+use crate::stmt::Stmt;
+use crate::ty::Ty;
+
+/// Runtime values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    Int(i128),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+    Set(Vec<Value>),
+    Dt(String, String, Vec<(String, Value)>),
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_bool(&self) -> Result<bool, Trap> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Trap::Type("expected bool".into())),
+        }
+    }
+
+    pub fn as_int(&self) -> Result<i128, Trap> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            _ => Err(Trap::Type("expected int".into())),
+        }
+    }
+}
+
+/// Execution traps — exactly the conditions verification must rule out.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trap {
+    /// Machine-integer overflow/underflow.
+    Overflow(String),
+    /// Division or modulo by zero.
+    DivByZero,
+    /// Sequence index out of bounds.
+    OutOfBounds,
+    /// Map key absent.
+    MissingKey,
+    /// Assertion failed at runtime.
+    AssertFailed(String),
+    /// Precondition of a called function failed.
+    RequiresFailed(String),
+    /// Wrong datatype variant accessed.
+    WrongVariant,
+    /// Dynamic type error (should be prevented by typeck).
+    Type(String),
+    /// Unbound variable or unknown function.
+    Unbound(String),
+    /// Step budget exhausted (non-termination guard).
+    Fuel,
+}
+
+/// Evaluation environment.
+pub struct Interp<'a> {
+    pub krate: &'a Krate,
+    /// Remaining evaluation steps (fuel).
+    pub fuel: u64,
+}
+
+/// Result of running a function body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Flow {
+    Normal,
+    Returned(Option<Value>),
+}
+
+impl<'a> Interp<'a> {
+    pub fn new(krate: &'a Krate) -> Interp<'a> {
+        Interp {
+            krate,
+            fuel: 10_000_000,
+        }
+    }
+
+    fn spend(&mut self) -> Result<(), Trap> {
+        if self.fuel == 0 {
+            return Err(Trap::Fuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn check_range(&self, v: i128, ty: &Ty) -> Result<i128, Trap> {
+        if let Some((lo, hi)) = ty.int_range() {
+            if v < lo || v > hi {
+                return Err(Trap::Overflow(format!("{v} out of range for {ty}")));
+            }
+        }
+        Ok(v)
+    }
+
+    /// Evaluate an expression. `env` maps variable names to values; `old_env`
+    /// supplies `old(x)` (usually the entry-time copy of `env`).
+    pub fn eval(
+        &mut self,
+        e: &Expr,
+        env: &HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Value, Trap> {
+        self.spend()?;
+        match &**e {
+            ExprX::BoolLit(b) => Ok(Value::Bool(*b)),
+            ExprX::IntLit(v, _) => Ok(Value::Int(*v)),
+            ExprX::Var(n, _) => env.get(n).cloned().ok_or_else(|| Trap::Unbound(n.clone())),
+            ExprX::Old(n, _) => old_env
+                .get(n)
+                .cloned()
+                .ok_or_else(|| Trap::Unbound(format!("old({n})"))),
+            ExprX::Unary(op, a) => {
+                let va = self.eval(a, env, old_env)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!va.as_bool()?)),
+                    UnOp::Neg => Ok(Value::Int(-va.as_int()?)),
+                }
+            }
+            ExprX::Binary(op, a, b) => self.eval_binary(*op, a, b, e, env, old_env),
+            ExprX::Ite(c, t, f) => {
+                if self.eval(c, env, old_env)?.as_bool()? {
+                    self.eval(t, env, old_env)
+                } else {
+                    self.eval(f, env, old_env)
+                }
+            }
+            ExprX::Let(n, v, body) => {
+                let vv = self.eval(v, env, old_env)?;
+                let mut inner = env.clone();
+                inner.insert(n.clone(), vv);
+                self.eval(body, &inner, old_env)
+            }
+            ExprX::Call(name, args, _) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, old_env)?);
+                }
+                self.call_spec(name, vals)
+            }
+            ExprX::Quant { .. } => {
+                Err(Trap::Type("cannot evaluate a quantifier concretely".into()))
+            }
+            ExprX::SeqEmpty(_) => Ok(Value::Seq(vec![])),
+            ExprX::SeqSingleton(x) => Ok(Value::Seq(vec![self.eval(x, env, old_env)?])),
+            ExprX::SeqLen(s) => match self.eval(s, env, old_env)? {
+                Value::Seq(v) => Ok(Value::Int(v.len() as i128)),
+                _ => Err(Trap::Type("len of non-seq".into())),
+            },
+            ExprX::SeqIndex(s, i) => {
+                let seq = self.eval_seq(s, env, old_env)?;
+                let idx = self.eval(i, env, old_env)?.as_int()?;
+                if idx < 0 || idx as usize >= seq.len() {
+                    return Err(Trap::OutOfBounds);
+                }
+                Ok(seq[idx as usize].clone())
+            }
+            ExprX::SeqUpdate(s, i, v) => {
+                let mut seq = self.eval_seq(s, env, old_env)?;
+                let idx = self.eval(i, env, old_env)?.as_int()?;
+                let vv = self.eval(v, env, old_env)?;
+                if idx < 0 || idx as usize >= seq.len() {
+                    return Err(Trap::OutOfBounds);
+                }
+                seq[idx as usize] = vv;
+                Ok(Value::Seq(seq))
+            }
+            ExprX::SeqSkip(s, n) => {
+                let seq = self.eval_seq(s, env, old_env)?;
+                let n = self
+                    .eval(n, env, old_env)?
+                    .as_int()?
+                    .clamp(0, seq.len() as i128);
+                Ok(Value::Seq(seq[n as usize..].to_vec()))
+            }
+            ExprX::SeqTake(s, n) => {
+                let seq = self.eval_seq(s, env, old_env)?;
+                let n = self
+                    .eval(n, env, old_env)?
+                    .as_int()?
+                    .clamp(0, seq.len() as i128);
+                Ok(Value::Seq(seq[..n as usize].to_vec()))
+            }
+            ExprX::SeqPush(s, v) => {
+                let mut seq = self.eval_seq(s, env, old_env)?;
+                seq.push(self.eval(v, env, old_env)?);
+                Ok(Value::Seq(seq))
+            }
+            ExprX::SeqConcat(a, b) => {
+                let mut sa = self.eval_seq(a, env, old_env)?;
+                let sb = self.eval_seq(b, env, old_env)?;
+                sa.extend(sb);
+                Ok(Value::Seq(sa))
+            }
+            ExprX::MapEmpty(..) => Ok(Value::Map(vec![])),
+            ExprX::MapSel(m, k) => {
+                let map = self.eval_map(m, env, old_env)?;
+                let key = self.eval(k, env, old_env)?;
+                map.iter()
+                    .find(|(mk, _)| *mk == key)
+                    .map(|(_, v)| v.clone())
+                    .ok_or(Trap::MissingKey)
+            }
+            ExprX::MapContains(m, k) => {
+                let map = self.eval_map(m, env, old_env)?;
+                let key = self.eval(k, env, old_env)?;
+                Ok(Value::Bool(map.iter().any(|(mk, _)| *mk == key)))
+            }
+            ExprX::MapStore(m, k, v) => {
+                let mut map = self.eval_map(m, env, old_env)?;
+                let key = self.eval(k, env, old_env)?;
+                let val = self.eval(v, env, old_env)?;
+                map.retain(|(mk, _)| *mk != key);
+                map.push((key, val));
+                Ok(Value::Map(map))
+            }
+            ExprX::MapRemove(m, k) => {
+                let mut map = self.eval_map(m, env, old_env)?;
+                let key = self.eval(k, env, old_env)?;
+                map.retain(|(mk, _)| *mk != key);
+                Ok(Value::Map(map))
+            }
+            ExprX::SetEmpty(_) => Ok(Value::Set(vec![])),
+            ExprX::SetMem(s, x) => {
+                let set = self.eval_set(s, env, old_env)?;
+                let v = self.eval(x, env, old_env)?;
+                Ok(Value::Bool(set.contains(&v)))
+            }
+            ExprX::SetAdd(s, x) => {
+                let mut set = self.eval_set(s, env, old_env)?;
+                let v = self.eval(x, env, old_env)?;
+                if !set.contains(&v) {
+                    set.push(v);
+                }
+                Ok(Value::Set(set))
+            }
+            ExprX::SetRemove(s, x) => {
+                let mut set = self.eval_set(s, env, old_env)?;
+                let v = self.eval(x, env, old_env)?;
+                set.retain(|e| *e != v);
+                Ok(Value::Set(set))
+            }
+            ExprX::Ctor(dt, variant, fields) => {
+                let mut vals = Vec::with_capacity(fields.len());
+                for (n, fe) in fields {
+                    vals.push((n.clone(), self.eval(fe, env, old_env)?));
+                }
+                Ok(Value::Dt(dt.clone(), variant.clone(), vals))
+            }
+            ExprX::Field(dt, variant, field, x, _) => match self.eval(x, env, old_env)? {
+                Value::Dt(d, v, fields) if &d == dt => {
+                    if &v != variant {
+                        return Err(Trap::WrongVariant);
+                    }
+                    fields
+                        .into_iter()
+                        .find(|(n, _)| n == field)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| Trap::Type(format!("no field {field}")))
+                }
+                _ => Err(Trap::Type("field of non-datatype".into())),
+            },
+            ExprX::IsVariant(dt, variant, x) => match self.eval(x, env, old_env)? {
+                Value::Dt(d, v, _) if &d == dt => Ok(Value::Bool(&v == variant)),
+                _ => Err(Trap::Type("is-variant of non-datatype".into())),
+            },
+            ExprX::TupleMk(es) => {
+                let mut vals = Vec::with_capacity(es.len());
+                for e in es {
+                    vals.push(self.eval(e, env, old_env)?);
+                }
+                Ok(Value::Tuple(vals))
+            }
+            ExprX::TupleField(i, x, _) => match self.eval(x, env, old_env)? {
+                Value::Tuple(vs) => vs.get(*i).cloned().ok_or(Trap::OutOfBounds),
+                _ => Err(Trap::Type("tuple field of non-tuple".into())),
+            },
+            ExprX::ExtEqual(a, b) => {
+                // Concretely, extensional equality coincides with value
+                // equality (sets/maps are canonicalized by construction in
+                // this interpreter only up to ordering, so compare as sets).
+                let va = self.eval(a, env, old_env)?;
+                let vb = self.eval(b, env, old_env)?;
+                let eq = match (&va, &vb) {
+                    (Value::Set(x), Value::Set(y)) => {
+                        x.iter().all(|e| y.contains(e)) && y.iter().all(|e| x.contains(e))
+                    }
+                    (Value::Map(x), Value::Map(y)) => {
+                        x.iter().all(|e| y.contains(e)) && y.iter().all(|e| x.contains(e))
+                    }
+                    _ => va == vb,
+                };
+                Ok(Value::Bool(eq))
+            }
+        }
+    }
+
+    fn eval_seq(
+        &mut self,
+        e: &Expr,
+        env: &HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Vec<Value>, Trap> {
+        match self.eval(e, env, old_env)? {
+            Value::Seq(v) => Ok(v),
+            _ => Err(Trap::Type("expected seq".into())),
+        }
+    }
+
+    fn eval_map(
+        &mut self,
+        e: &Expr,
+        env: &HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Vec<(Value, Value)>, Trap> {
+        match self.eval(e, env, old_env)? {
+            Value::Map(v) => Ok(v),
+            _ => Err(Trap::Type("expected map".into())),
+        }
+    }
+
+    fn eval_set(
+        &mut self,
+        e: &Expr,
+        env: &HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Vec<Value>, Trap> {
+        match self.eval(e, env, old_env)? {
+            Value::Set(v) => Ok(v),
+            _ => Err(Trap::Type("expected set".into())),
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        whole: &Expr,
+        env: &HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Value, Trap> {
+        // Short-circuit boolean ops.
+        match op {
+            BinOp::And => {
+                return Ok(Value::Bool(
+                    self.eval(a, env, old_env)?.as_bool()?
+                        && self.eval(b, env, old_env)?.as_bool()?,
+                ));
+            }
+            BinOp::Or => {
+                return Ok(Value::Bool(
+                    self.eval(a, env, old_env)?.as_bool()?
+                        || self.eval(b, env, old_env)?.as_bool()?,
+                ));
+            }
+            BinOp::Implies => {
+                return Ok(Value::Bool(
+                    !self.eval(a, env, old_env)?.as_bool()?
+                        || self.eval(b, env, old_env)?.as_bool()?,
+                ));
+            }
+            BinOp::Iff => {
+                let va = self.eval(a, env, old_env)?.as_bool()?;
+                let vb = self.eval(b, env, old_env)?.as_bool()?;
+                return Ok(Value::Bool(va == vb));
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let va = self.eval(a, env, old_env)?;
+                let vb = self.eval(b, env, old_env)?;
+                let eq = va == vb;
+                return Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }));
+            }
+            _ => {}
+        }
+        let va = self.eval(a, env, old_env)?.as_int()?;
+        let vb = self.eval(b, env, old_env)?.as_int()?;
+        let result_ty = whole.ty();
+        match op {
+            BinOp::Lt => Ok(Value::Bool(va < vb)),
+            BinOp::Le => Ok(Value::Bool(va <= vb)),
+            BinOp::Gt => Ok(Value::Bool(va > vb)),
+            BinOp::Ge => Ok(Value::Bool(va >= vb)),
+            BinOp::Add => {
+                let r = va
+                    .checked_add(vb)
+                    .ok_or(Trap::Overflow("i128 add".into()))?;
+                Ok(Value::Int(self.check_range(r, &result_ty)?))
+            }
+            BinOp::Sub => {
+                let r = va
+                    .checked_sub(vb)
+                    .ok_or(Trap::Overflow("i128 sub".into()))?;
+                Ok(Value::Int(self.check_range(r, &result_ty)?))
+            }
+            BinOp::Mul => {
+                let r = va
+                    .checked_mul(vb)
+                    .ok_or(Trap::Overflow("i128 mul".into()))?;
+                Ok(Value::Int(self.check_range(r, &result_ty)?))
+            }
+            BinOp::Div => {
+                if vb == 0 {
+                    return Err(Trap::DivByZero);
+                }
+                Ok(Value::Int(va.div_euclid(vb)))
+            }
+            BinOp::Mod => {
+                if vb == 0 {
+                    return Err(Trap::DivByZero);
+                }
+                Ok(Value::Int(va.rem_euclid(vb)))
+            }
+            BinOp::BitAnd => Ok(Value::Int(va & vb)),
+            BinOp::BitOr => Ok(Value::Int(va | vb)),
+            BinOp::BitXor => Ok(Value::Int(va ^ vb)),
+            BinOp::Shl => {
+                let r = if vb >= 128 || vb < 0 { 0 } else { va << vb };
+                // Shifts wrap within the machine width (matching bit-vector
+                // semantics used by `by(bit_vector)` proofs).
+                match result_ty.int_range() {
+                    Some((_, hi)) => Ok(Value::Int(r & hi)),
+                    None => Ok(Value::Int(r)),
+                }
+            }
+            BinOp::Shr => Ok(Value::Int(if vb >= 128 || vb < 0 { 0 } else { va >> vb })),
+            _ => unreachable!("handled above"),
+        }
+    }
+
+    /// Call a spec function with argument values.
+    pub fn call_spec(&mut self, name: &str, args: Vec<Value>) -> Result<Value, Trap> {
+        let (_, f) = self
+            .krate
+            .find_function(name)
+            .ok_or_else(|| Trap::Unbound(name.to_owned()))?;
+        let body = match &f.body {
+            FnBody::SpecExpr(e) => e.clone(),
+            _ => return Err(Trap::Type(format!("`{name}` is not a spec function"))),
+        };
+        let mut env = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            env.insert(p.name.clone(), v);
+        }
+        let old = env.clone();
+        self.eval(&body, &env, &old)
+    }
+
+    /// Run an exec/proof function with argument values; checks requires,
+    /// runs the body (checking asserts and callee requires), checks ensures.
+    pub fn call_exec(&mut self, name: &str, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        let (_, f) = self
+            .krate
+            .find_function(name)
+            .ok_or_else(|| Trap::Unbound(name.to_owned()))?;
+        let f = f.clone();
+        let stmts = match &f.body {
+            FnBody::Stmts(s) => s.clone(),
+            FnBody::SpecExpr(_) => {
+                return self.call_spec(name, args).map(Some);
+            }
+            FnBody::Abstract => return Err(Trap::Type(format!("`{name}` has no body"))),
+        };
+        let mut env: HashMap<String, Value> = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            env.insert(p.name.clone(), v);
+        }
+        let old_env = env.clone();
+        for r in &f.requires {
+            if !self.eval(r, &env, &old_env)?.as_bool()? {
+                return Err(Trap::RequiresFailed(format!("{name}: {r}")));
+            }
+        }
+        let flow = self.run_stmts(&stmts, &mut env, &old_env)?;
+        let ret = match flow {
+            Flow::Returned(v) => v,
+            Flow::Normal => None,
+        };
+        if let Some((rn, _)) = &f.ret {
+            let mut post_env = env.clone();
+            if let Some(rv) = &ret {
+                post_env.insert(rn.clone(), rv.clone());
+            }
+            for en in &f.ensures {
+                if !self.eval(en, &post_env, &old_env)?.as_bool()? {
+                    return Err(Trap::AssertFailed(format!("ensures of {name}: {en}")));
+                }
+            }
+        } else {
+            for en in &f.ensures {
+                if !self.eval(en, &env, &old_env)?.as_bool()? {
+                    return Err(Trap::AssertFailed(format!("ensures of {name}: {en}")));
+                }
+            }
+        }
+        Ok(ret)
+    }
+
+    /// Execute statements.
+    pub fn run_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, Value>,
+        old_env: &HashMap<String, Value>,
+    ) -> Result<Flow, Trap> {
+        for s in stmts {
+            self.spend()?;
+            match s {
+                Stmt::Decl { name, init, .. } => {
+                    let v = match init {
+                        Some(e) => self.eval(e, env, old_env)?,
+                        None => Value::Int(0),
+                    };
+                    env.insert(name.clone(), v);
+                }
+                Stmt::Assign { name, value } => {
+                    let v = self.eval(value, env, old_env)?;
+                    env.insert(name.clone(), v);
+                }
+                Stmt::Assert { expr, label, .. } => {
+                    if !self.eval(expr, env, old_env)?.as_bool()? {
+                        return Err(Trap::AssertFailed(if label.is_empty() {
+                            expr.to_string()
+                        } else {
+                            label.clone()
+                        }));
+                    }
+                }
+                Stmt::Assume(e) => {
+                    // Assumptions are trusted: if violated at runtime the
+                    // interpreter surfaces it (helps catch bad axioms).
+                    if !self.eval(e, env, old_env)?.as_bool()? {
+                        return Err(Trap::AssertFailed(format!("assume violated: {e}")));
+                    }
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    let branch = if self.eval(cond, env, old_env)?.as_bool()? {
+                        then_
+                    } else {
+                        else_
+                    };
+                    match self.run_stmts(branch, env, old_env)? {
+                        Flow::Normal => {}
+                        r => return Ok(r),
+                    }
+                }
+                Stmt::While { cond, body, .. } => loop {
+                    self.spend()?;
+                    if !self.eval(cond, env, old_env)?.as_bool()? {
+                        break;
+                    }
+                    match self.run_stmts(body, env, old_env)? {
+                        Flow::Normal => {}
+                        r => return Ok(r),
+                    }
+                },
+                Stmt::Call { func, args, dest } => {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval(a, env, old_env)?);
+                    }
+                    let (_, callee) = self
+                        .krate
+                        .find_function(func)
+                        .ok_or_else(|| Trap::Unbound(func.clone()))?;
+                    let ret = if callee.mode == Mode::Spec {
+                        Some(self.call_spec(func, vals)?)
+                    } else {
+                        self.call_exec(func, vals)?
+                    };
+                    if let Some((d, _)) = dest {
+                        env.insert(
+                            d.clone(),
+                            ret.ok_or_else(|| Trap::Type(format!("{func} returns nothing")))?,
+                        );
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = match e {
+                        Some(e) => Some(self.eval(e, env, old_env)?),
+                        None => None,
+                    };
+                    return Ok(Flow::Returned(v));
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+/// Try to evaluate a closed expression to a constant (used by `by(compute)`).
+pub fn eval_closed(krate: &Krate, e: &Expr) -> Result<Value, Trap> {
+    let mut it = Interp::new(krate);
+    let env = HashMap::new();
+    it.eval(e, &env, &env)
+}
+
+/// Convenience: evaluate with a variable environment.
+pub fn eval_with_env(krate: &Krate, e: &Expr, env: &HashMap<String, Value>) -> Result<Value, Trap> {
+    let mut it = Interp::new(krate);
+    it.eval(e, env, env)
+}
+
+/// Build a `Value` for a literal expression tree, if it is one.
+pub fn const_of(e: &Expr) -> Option<Value> {
+    match &**e {
+        ExprX::BoolLit(b) => Some(Value::Bool(*b)),
+        ExprX::IntLit(v, _) => Some(Value::Int(*v)),
+        _ => None,
+    }
+}
+
+/// Re-export convenience for building Rc'd expressions in tests.
+pub fn rc(e: ExprX) -> Expr {
+    Rc::new(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{call, int, lit, var, ExprExt};
+    use crate::module::{Function, Krate, Module};
+
+    fn empty_krate() -> Krate {
+        Krate::new()
+    }
+
+    #[test]
+    fn arithmetic_and_overflow() {
+        let k = empty_krate();
+        let a = lit(200, Ty::UInt(8));
+        let b = lit(100, Ty::UInt(8));
+        let sum = a.add(b);
+        assert_eq!(
+            eval_closed(&k, &sum),
+            Err(Trap::Overflow("300 out of range for u8".into()))
+        );
+        let ok = lit(100, Ty::UInt(8)).add(lit(50, Ty::UInt(8)));
+        assert_eq!(eval_closed(&k, &ok), Ok(Value::Int(150)));
+    }
+
+    #[test]
+    fn div_mod_euclidean() {
+        let k = empty_krate();
+        assert_eq!(eval_closed(&k, &int(-7).div(int(2))), Ok(Value::Int(-4)));
+        assert_eq!(eval_closed(&k, &int(-7).modulo(int(2))), Ok(Value::Int(1)));
+        assert_eq!(eval_closed(&k, &int(7).div(int(0))), Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn seq_semantics() {
+        let k = empty_krate();
+        let s = crate::expr::seq_empty(Ty::Int)
+            .seq_push(int(10))
+            .seq_push(int(20))
+            .seq_push(int(30));
+        assert_eq!(eval_closed(&k, &s.seq_len()), Ok(Value::Int(3)));
+        assert_eq!(eval_closed(&k, &s.seq_index(int(1))), Ok(Value::Int(20)));
+        assert_eq!(
+            eval_closed(&k, &s.seq_index(int(3))),
+            Err(Trap::OutOfBounds)
+        );
+        let skipped = s.seq_skip(int(1));
+        assert_eq!(
+            eval_closed(&k, &skipped.seq_index(int(0))),
+            Ok(Value::Int(20))
+        );
+    }
+
+    #[test]
+    fn spec_function_call() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("double", Mode::Spec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .spec_body(x.mul(int(2)));
+        let k = Krate::new().module(Module::new("m").func(f));
+        let e = call("double", vec![int(21)], Ty::Int);
+        assert_eq!(eval_closed(&k, &e), Ok(Value::Int(42)));
+    }
+
+    #[test]
+    fn exec_function_with_loop() {
+        // sum of 0..n via while loop.
+        let n = var("n", Ty::Int);
+        let i = var("i", Ty::Int);
+        let acc = var("acc", Ty::Int);
+        let f = Function::new("sum_to", Mode::Exec)
+            .param("n", Ty::Int)
+            .returns("r", Ty::Int)
+            .requires(n.ge(int(0)))
+            .stmts(vec![
+                Stmt::decl_mut("i", Ty::Int, int(0)),
+                Stmt::decl_mut("acc", Ty::Int, int(0)),
+                Stmt::While {
+                    cond: i.lt(n.clone()),
+                    invariants: vec![],
+                    decreases: None,
+                    body: vec![
+                        Stmt::assign("acc", acc.add(i.clone())),
+                        Stmt::assign("i", i.add(int(1))),
+                    ],
+                },
+                Stmt::ret(acc.clone()),
+            ]);
+        let k = Krate::new().module(Module::new("m").func(f));
+        let mut it = Interp::new(&k);
+        assert_eq!(
+            it.call_exec("sum_to", vec![Value::Int(10)]),
+            Ok(Some(Value::Int(45)))
+        );
+        // Violated precondition traps.
+        let mut it = Interp::new(&k);
+        assert!(matches!(
+            it.call_exec("sum_to", vec![Value::Int(-1)]),
+            Err(Trap::RequiresFailed(_))
+        ));
+    }
+
+    #[test]
+    fn datatype_access() {
+        let k = empty_krate();
+        let pair = crate::expr::ctor("Pair", "Pair", vec![("a", int(1)), ("b", int(2))]);
+        let field = pair.field("Pair", "Pair", "b", Ty::Int);
+        assert_eq!(eval_closed(&k, &field), Ok(Value::Int(2)));
+        let wrong = pair.field("Pair", "Other", "b", Ty::Int);
+        assert_eq!(eval_closed(&k, &wrong), Err(Trap::WrongVariant));
+    }
+
+    #[test]
+    fn assert_failure_traps() {
+        let f = Function::new("bad", Mode::Exec).stmts(vec![Stmt::assert(crate::expr::fals())]);
+        let k = Krate::new().module(Module::new("m").func(f));
+        let mut it = Interp::new(&k);
+        assert!(matches!(
+            it.call_exec("bad", vec![]),
+            Err(Trap::AssertFailed(_))
+        ));
+    }
+}

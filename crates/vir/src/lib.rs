@@ -1,0 +1,29 @@
+//! # veris-vir — the verification intermediate representation
+//!
+//! VIR plays the role of Verus's function-level input language: typed
+//! expressions and statements with `spec`/`proof`/`exec` modes,
+//! `requires`/`ensures` contracts, loop invariants, datatypes, and the spec
+//! collections `Seq`/`Map`/`Set`.
+//!
+//! - [`ty`] — the type language (mathematical + machine integers, spec
+//!   collections, datatypes, abstract types);
+//! - [`expr`] — reference-counted expression trees with a fluent builder;
+//! - [`stmt`] — statements, including `assert ... by(prover)`;
+//! - [`module`] — functions, datatypes, modules (`#[epr_mode]`), crates;
+//! - [`typeck`] — front-end well-formedness checks;
+//! - [`interp`] — a reference interpreter (semantic ground truth for the WP
+//!   calculus and the engine for `by(compute)`);
+//! - [`loc`] — line accounting in the paper's trusted/proof/code categories.
+
+pub mod expr;
+pub mod interp;
+pub mod loc;
+pub mod module;
+pub mod stmt;
+pub mod ty;
+pub mod typeck;
+
+pub use expr::{Expr, ExprExt, ExprX};
+pub use module::{DatatypeDef, FnBody, Function, Krate, Mode, Module, Param};
+pub use stmt::{Prover, Stmt};
+pub use ty::Ty;

@@ -1,0 +1,194 @@
+//! Source-line accounting in the paper's Figure 9 categories:
+//! **trusted** (specifications assumed, not proved), **proof** (ghost code:
+//! proof functions, spec functions, contracts, invariants, asserts), and
+//! **code** (executable statements).
+//!
+//! Counts are derived from a pretty-printed rendering of the VIR (one line
+//! per statement/clause, brace lines included), so they scale with the model
+//! exactly as source-line counts scale with a source file.
+
+use crate::expr::Expr;
+use crate::module::{FnBody, Function, Krate, Mode, Module};
+use crate::stmt::Stmt;
+
+/// Line counts per Figure 9 category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineCounts {
+    pub trusted: usize,
+    pub proof: usize,
+    pub code: usize,
+}
+
+impl LineCounts {
+    pub fn total(&self) -> usize {
+        self.trusted + self.proof + self.code
+    }
+
+    /// Proof-to-code ratio (the paper's P/C column).
+    pub fn ratio(&self) -> f64 {
+        if self.code == 0 {
+            0.0
+        } else {
+            self.proof as f64 / self.code as f64
+        }
+    }
+
+    pub fn add(&mut self, o: LineCounts) {
+        self.trusted += o.trusted;
+        self.proof += o.proof;
+        self.code += o.code;
+    }
+}
+
+/// Lines an expression occupies when pretty-printed (wrapped at ~80 cols).
+fn expr_lines(e: &Expr) -> usize {
+    let text = e.to_string();
+    1 + text.len() / 80
+}
+
+fn stmts_lines(stmts: &[Stmt]) -> (usize, usize) {
+    // Returns (code_lines, proof_lines).
+    let mut code = 0;
+    let mut proof = 0;
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => {
+                code += init.as_ref().map_or(1, expr_lines);
+            }
+            Stmt::Assign { value, .. } => code += expr_lines(value),
+            Stmt::Assert { expr, .. } => proof += expr_lines(expr),
+            Stmt::Assume(e) => proof += expr_lines(e),
+            Stmt::If { cond, then_, else_ } => {
+                code += expr_lines(cond) + 1; // header + closing brace
+                let (c, p) = stmts_lines(then_);
+                code += c;
+                proof += p;
+                if !else_.is_empty() {
+                    code += 1;
+                    let (c, p) = stmts_lines(else_);
+                    code += c;
+                    proof += p;
+                }
+            }
+            Stmt::While {
+                cond,
+                invariants,
+                decreases,
+                body,
+            } => {
+                code += expr_lines(cond) + 1;
+                proof += invariants.iter().map(expr_lines).sum::<usize>();
+                proof += decreases.as_ref().map_or(0, expr_lines);
+                let (c, p) = stmts_lines(body);
+                code += c;
+                proof += p;
+            }
+            Stmt::Call { args, .. } => {
+                code += 1 + args.iter().map(|a| a.to_string().len()).sum::<usize>() / 80;
+            }
+            Stmt::Return(e) => code += e.as_ref().map_or(1, expr_lines),
+        }
+    }
+    (code, proof)
+}
+
+/// Count one function.
+pub fn count_function(f: &Function) -> LineCounts {
+    let mut lc = LineCounts::default();
+    let sig = 2; // signature + closing brace
+    let contract: usize = f.requires.iter().map(expr_lines).sum::<usize>()
+        + f.ensures.iter().map(expr_lines).sum::<usize>()
+        + f.decreases.as_ref().map_or(0, expr_lines);
+    let body = match &f.body {
+        FnBody::SpecExpr(e) => (0, expr_lines(e)),
+        FnBody::Stmts(ss) => stmts_lines(ss),
+        FnBody::Abstract => (0, 0),
+    };
+    if f.trusted {
+        lc.trusted += sig + contract + body.0 + body.1;
+        return lc;
+    }
+    match f.mode {
+        Mode::Exec => {
+            lc.code += sig + body.0;
+            lc.proof += contract + body.1;
+        }
+        Mode::Proof | Mode::Spec => {
+            lc.proof += sig + contract + body.0 + body.1;
+        }
+    }
+    lc
+}
+
+/// Count one module (functions + datatype declarations + axioms).
+pub fn count_module(m: &Module) -> LineCounts {
+    let mut lc = LineCounts::default();
+    for f in &m.functions {
+        lc.add(count_function(f));
+    }
+    for d in &m.datatypes {
+        // Datatypes are executable declarations: header + one line per field.
+        let fields: usize = d.variants.iter().map(|(_, fs)| fs.len() + 1).sum();
+        lc.code += 2 + fields;
+    }
+    for a in &m.axioms {
+        lc.trusted += expr_lines(a);
+    }
+    lc
+}
+
+/// Count a whole crate.
+pub fn count_krate(k: &Krate) -> LineCounts {
+    let mut lc = LineCounts::default();
+    for m in &k.modules {
+        lc.add(count_module(m));
+    }
+    lc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, var, ExprExt};
+    use crate::module::{Function, Mode};
+    use crate::ty::Ty;
+
+    #[test]
+    fn exec_function_splits_code_and_proof() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Exec)
+            .param("x", Ty::Int)
+            .requires(x.ge(int(0)))
+            .ensures(x.ge(int(0)))
+            .stmts(vec![
+                Stmt::decl("y", Ty::Int, x.add(int(1))),
+                Stmt::assert(x.ge(int(0))),
+                Stmt::ret(x.clone()),
+            ]);
+        let lc = count_function(&f);
+        assert!(lc.code >= 3, "sig + decl + return: {lc:?}");
+        assert!(lc.proof >= 3, "requires + ensures + assert: {lc:?}");
+        assert_eq!(lc.trusted, 0);
+    }
+
+    #[test]
+    fn trusted_function_counts_as_trusted() {
+        let f = Function::new("mmap_spec", Mode::Exec)
+            .ensures(crate::expr::tru())
+            .trusted();
+        let lc = count_function(&f);
+        assert!(lc.trusted > 0);
+        assert_eq!(lc.code, 0);
+        assert_eq!(lc.proof, 0);
+    }
+
+    #[test]
+    fn ratio() {
+        let lc = LineCounts {
+            trusted: 10,
+            proof: 50,
+            code: 10,
+        };
+        assert!((lc.ratio() - 5.0).abs() < 1e-9);
+    }
+}

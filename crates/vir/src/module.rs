@@ -1,0 +1,294 @@
+//! Functions, datatypes, modules, and crates (projects).
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use crate::ty::Ty;
+
+/// Function mode, as in Verus: `spec` (pure math, erased), `proof` (ghost,
+/// erased), `exec` (compiled).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    Spec,
+    Proof,
+    Exec,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub name: String,
+    pub ty: Ty,
+    /// `&mut` parameter: callers see `old(name)`/`name` in the contract.
+    pub mutable: bool,
+}
+
+impl Param {
+    pub fn new(name: &str, ty: Ty) -> Param {
+        Param {
+            name: name.to_owned(),
+            ty,
+            mutable: false,
+        }
+    }
+
+    pub fn new_mut(name: &str, ty: Ty) -> Param {
+        Param {
+            name: name.to_owned(),
+            ty,
+            mutable: true,
+        }
+    }
+}
+
+/// Function body variants.
+#[derive(Clone, Debug)]
+pub enum FnBody {
+    /// Spec function body: a single expression.
+    SpecExpr(Expr),
+    /// Exec/proof body: statements.
+    Stmts(Vec<Stmt>),
+    /// No body: trusted declaration (part of the TCB) or abstract function.
+    Abstract,
+}
+
+/// A VIR function.
+#[derive(Clone, Debug)]
+pub struct Function {
+    pub name: String,
+    pub mode: Mode,
+    pub params: Vec<Param>,
+    /// Return value binding and type (named so `ensures` can refer to it).
+    pub ret: Option<(String, Ty)>,
+    pub requires: Vec<Expr>,
+    pub ensures: Vec<Expr>,
+    pub decreases: Option<Expr>,
+    pub body: FnBody,
+    /// Opaque spec functions do not export their definition by default.
+    pub opaque: bool,
+    /// Trusted functions contribute to the trusted line count (Fig 9).
+    pub trusted: bool,
+}
+
+impl Function {
+    pub fn new(name: &str, mode: Mode) -> Function {
+        Function {
+            name: name.to_owned(),
+            mode,
+            params: Vec::new(),
+            ret: None,
+            requires: Vec::new(),
+            ensures: Vec::new(),
+            decreases: None,
+            body: FnBody::Abstract,
+            opaque: false,
+            trusted: false,
+        }
+    }
+
+    pub fn param(mut self, name: &str, ty: Ty) -> Function {
+        self.params.push(Param::new(name, ty));
+        self
+    }
+
+    pub fn param_mut(mut self, name: &str, ty: Ty) -> Function {
+        self.params.push(Param::new_mut(name, ty));
+        self
+    }
+
+    pub fn returns(mut self, name: &str, ty: Ty) -> Function {
+        self.ret = Some((name.to_owned(), ty));
+        self
+    }
+
+    pub fn requires(mut self, e: Expr) -> Function {
+        self.requires.push(e);
+        self
+    }
+
+    pub fn ensures(mut self, e: Expr) -> Function {
+        self.ensures.push(e);
+        self
+    }
+
+    pub fn decreases(mut self, e: Expr) -> Function {
+        self.decreases = Some(e);
+        self
+    }
+
+    pub fn spec_body(mut self, e: Expr) -> Function {
+        self.body = FnBody::SpecExpr(e);
+        self
+    }
+
+    pub fn stmts(mut self, body: Vec<Stmt>) -> Function {
+        self.body = FnBody::Stmts(body);
+        self
+    }
+
+    pub fn opaque(mut self) -> Function {
+        self.opaque = true;
+        self
+    }
+
+    pub fn trusted(mut self) -> Function {
+        self.trusted = true;
+        self
+    }
+}
+
+/// A datatype definition (struct = one variant; enum = several).
+#[derive(Clone, Debug)]
+pub struct DatatypeDef {
+    pub name: String,
+    pub variants: Vec<(String, Vec<(String, Ty)>)>,
+}
+
+impl DatatypeDef {
+    pub fn structure(name: &str, fields: Vec<(&str, Ty)>) -> DatatypeDef {
+        DatatypeDef {
+            name: name.to_owned(),
+            variants: vec![(
+                name.to_owned(),
+                fields.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+            )],
+        }
+    }
+
+    pub fn enumeration(name: &str, variants: Vec<(&str, Vec<(&str, Ty)>)>) -> DatatypeDef {
+        DatatypeDef {
+            name: name.to_owned(),
+            variants: variants
+                .into_iter()
+                .map(|(v, fs)| {
+                    (
+                        v.to_owned(),
+                        fs.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A module: unit of verification, pruning, and (optionally) EPR checking.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    pub name: String,
+    pub functions: Vec<Function>,
+    pub datatypes: Vec<DatatypeDef>,
+    /// Global assumptions (trusted axioms).
+    pub axioms: Vec<Expr>,
+    /// `#[epr_mode]`: all obligations must pass the EPR fragment check and
+    /// are then decided by saturation.
+    pub epr_mode: bool,
+    /// Names of imported modules (visible definitions).
+    pub imports: Vec<String>,
+}
+
+impl Module {
+    pub fn new(name: &str) -> Module {
+        Module {
+            name: name.to_owned(),
+            ..Module::default()
+        }
+    }
+
+    pub fn func(mut self, f: Function) -> Module {
+        self.functions.push(f);
+        self
+    }
+
+    pub fn datatype(mut self, d: DatatypeDef) -> Module {
+        self.datatypes.push(d);
+        self
+    }
+
+    pub fn axiom(mut self, e: Expr) -> Module {
+        self.axioms.push(e);
+        self
+    }
+
+    pub fn epr(mut self) -> Module {
+        self.epr_mode = true;
+        self
+    }
+
+    pub fn import(mut self, name: &str) -> Module {
+        self.imports.push(name.to_owned());
+        self
+    }
+
+    pub fn find_function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    pub fn find_datatype(&self, name: &str) -> Option<&DatatypeDef> {
+        self.datatypes.iter().find(|d| d.name == name)
+    }
+}
+
+/// A whole project (crate) of modules.
+#[derive(Clone, Debug, Default)]
+pub struct Krate {
+    pub modules: Vec<Module>,
+}
+
+impl Krate {
+    pub fn new() -> Krate {
+        Krate::default()
+    }
+
+    pub fn module(mut self, m: Module) -> Krate {
+        self.modules.push(m);
+        self
+    }
+
+    pub fn find_function(&self, name: &str) -> Option<(&Module, &Function)> {
+        for m in &self.modules {
+            if let Some(f) = m.find_function(name) {
+                return Some((m, f));
+            }
+        }
+        None
+    }
+
+    pub fn find_datatype(&self, name: &str) -> Option<&DatatypeDef> {
+        self.modules.iter().find_map(|m| m.find_datatype(name))
+    }
+
+    pub fn all_functions(&self) -> impl Iterator<Item = (&Module, &Function)> {
+        self.modules
+            .iter()
+            .flat_map(|m| m.functions.iter().map(move |f| (m, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, var, ExprExt};
+
+    #[test]
+    fn builder_chain() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("abs", Mode::Spec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .spec_body(crate::expr::ite(x.ge(int(0)), x.clone(), x.neg()));
+        let m = Module::new("m").func(f);
+        let k = Krate::new().module(m);
+        assert!(k.find_function("abs").is_some());
+        assert!(k.find_function("missing").is_none());
+    }
+
+    #[test]
+    fn datatype_lookup() {
+        let d = DatatypeDef::enumeration(
+            "Option",
+            vec![("None", vec![]), ("Some", vec![("v", Ty::Int)])],
+        );
+        let m = Module::new("m").datatype(d);
+        let k = Krate::new().module(m);
+        assert_eq!(k.find_datatype("Option").unwrap().variants.len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! VIR statements: the executable (and proof) statement language.
+
+use crate::expr::Expr;
+use crate::ty::Ty;
+
+/// Which prover discharges an `assert` (paper §3.3's `by(...)` clauses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Prover {
+    /// The default SMT pipeline with the ambient context.
+    Default,
+    /// Bit-blasting; integers are reinterpreted as bit-vectors.
+    BitVector,
+    /// Isolated non-linear query (no ambient context; premises must be
+    /// stated in the assertion itself).
+    NonlinearArith,
+    /// Ring-congruence decision procedure (Gröbner-style).
+    IntegerRing,
+    /// Symbolic evaluation; any residual goes to the default prover.
+    Compute,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Declare a (possibly mutable) local with an optional initializer.
+    Decl {
+        name: String,
+        ty: Ty,
+        init: Option<Expr>,
+        mutable: bool,
+    },
+    /// Assign to a mutable local (or `mut` parameter).
+    Assign {
+        name: String,
+        value: Expr,
+    },
+    /// Proof obligation, optionally discharged by a custom prover.
+    Assert {
+        expr: Expr,
+        by: Prover,
+        label: String,
+    },
+    /// Assumption (trusted; used for axioms and havoc conditioning).
+    Assume(Expr),
+    If {
+        cond: Expr,
+        then_: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        invariants: Vec<Expr>,
+        /// Termination measure (proved decreasing and non-negative).
+        decreases: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    /// Call an exec/proof function; callee contract is the summary.
+    Call {
+        func: String,
+        args: Vec<Expr>,
+        /// Destination binding for the return value, if any.
+        dest: Option<(String, Ty)>,
+    },
+    Return(Option<Expr>),
+}
+
+impl Stmt {
+    pub fn decl(name: &str, ty: Ty, init: Expr) -> Stmt {
+        Stmt::Decl {
+            name: name.to_owned(),
+            ty,
+            init: Some(init),
+            mutable: false,
+        }
+    }
+
+    pub fn decl_mut(name: &str, ty: Ty, init: Expr) -> Stmt {
+        Stmt::Decl {
+            name: name.to_owned(),
+            ty,
+            init: Some(init),
+            mutable: true,
+        }
+    }
+
+    pub fn assign(name: &str, value: Expr) -> Stmt {
+        Stmt::Assign {
+            name: name.to_owned(),
+            value,
+        }
+    }
+
+    pub fn assert(expr: Expr) -> Stmt {
+        Stmt::Assert {
+            expr,
+            by: Prover::Default,
+            label: String::new(),
+        }
+    }
+
+    pub fn assert_by(expr: Expr, by: Prover) -> Stmt {
+        Stmt::Assert {
+            expr,
+            by,
+            label: String::new(),
+        }
+    }
+
+    pub fn assert_labeled(expr: Expr, label: &str) -> Stmt {
+        Stmt::Assert {
+            expr,
+            by: Prover::Default,
+            label: label.to_owned(),
+        }
+    }
+
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(Some(e))
+    }
+
+    /// Variables assigned anywhere in a statement list (used by loop
+    /// havocking in the WP calculus).
+    pub fn assigned_vars(stmts: &[Stmt]) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { name, .. } => {
+                        if !out.contains(name) {
+                            out.push(name.clone());
+                        }
+                    }
+                    Stmt::Decl { name, .. } => {
+                        if !out.contains(name) {
+                            out.push(name.clone());
+                        }
+                    }
+                    Stmt::Call {
+                        dest: Some((d, _)), ..
+                    } => {
+                        if !out.contains(d) {
+                            out.push(d.clone());
+                        }
+                    }
+                    Stmt::If { then_, else_, .. } => {
+                        walk(then_, out);
+                        walk(else_, out);
+                    }
+                    Stmt::While { body, .. } => walk(body, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(stmts, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, var, ExprExt};
+
+    #[test]
+    fn assigned_vars_nested() {
+        let x = var("x", Ty::Int);
+        let stmts = vec![
+            Stmt::decl_mut("a", Ty::Int, int(0)),
+            Stmt::If {
+                cond: x.ge(int(0)),
+                then_: vec![Stmt::assign("a", int(1))],
+                else_: vec![Stmt::While {
+                    cond: x.lt(int(3)),
+                    invariants: vec![],
+                    decreases: None,
+                    body: vec![Stmt::assign("b", int(2))],
+                }],
+            },
+        ];
+        let vars = Stmt::assigned_vars(&stmts);
+        assert!(vars.contains(&"a".to_owned()));
+        assert!(vars.contains(&"b".to_owned()));
+        assert!(!vars.contains(&"x".to_owned()));
+    }
+}

@@ -1,0 +1,145 @@
+//! VIR types.
+//!
+//! The type language mirrors what Verus programs use: mathematical `Int` and
+//! `Nat` for specifications, bounded machine integers for executable code
+//! (with overflow proof obligations), the spec collections `Seq`/`Map`/`Set`,
+//! user datatypes, and uninterpreted types for abstraction boundaries.
+
+use std::fmt;
+
+/// A VIR type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    Bool,
+    /// Unbounded mathematical integer (spec-only).
+    Int,
+    /// Unbounded non-negative integer (spec-only; encoded as Int with a
+    /// `>= 0` invariant).
+    Nat,
+    /// Machine unsigned integer of the given bit width (8/16/32/64/128).
+    UInt(u32),
+    /// Machine signed integer of the given bit width.
+    SInt(u32),
+    /// Mathematical sequence (spec-only).
+    Seq(Box<Ty>),
+    /// Mathematical partial map (spec-only).
+    Map(Box<Ty>, Box<Ty>),
+    /// Mathematical set (spec-only).
+    Set(Box<Ty>),
+    /// Declared datatype (struct or enum), by name.
+    Datatype(String),
+    /// Tuple.
+    Tuple(Vec<Ty>),
+    /// Uninterpreted (abstract) type, e.g. an EPR-abstracted key space.
+    Abstract(String),
+}
+
+impl Ty {
+    pub fn seq(elem: Ty) -> Ty {
+        Ty::Seq(Box::new(elem))
+    }
+
+    pub fn map(k: Ty, v: Ty) -> Ty {
+        Ty::Map(Box::new(k), Box::new(v))
+    }
+
+    pub fn set(elem: Ty) -> Ty {
+        Ty::Set(Box::new(elem))
+    }
+
+    pub fn datatype(name: &str) -> Ty {
+        Ty::Datatype(name.to_owned())
+    }
+
+    /// Is this an integer-like type (mathematical or machine)?
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Nat | Ty::UInt(_) | Ty::SInt(_))
+    }
+
+    /// Is this type allowed in executable code? (Spec collections and
+    /// unbounded integers are ghost-only.)
+    pub fn is_exec(&self) -> bool {
+        match self {
+            Ty::Bool | Ty::UInt(_) | Ty::SInt(_) => true,
+            Ty::Datatype(_) | Ty::Abstract(_) => true,
+            Ty::Tuple(ts) => ts.iter().all(Ty::is_exec),
+            Ty::Int | Ty::Nat | Ty::Seq(_) | Ty::Map(_, _) | Ty::Set(_) => false,
+        }
+    }
+
+    /// Inclusive value range for machine integers.
+    pub fn int_range(&self) -> Option<(i128, i128)> {
+        match *self {
+            Ty::UInt(w) => {
+                let max = if w >= 128 {
+                    i128::MAX
+                } else {
+                    (1i128 << w) - 1
+                };
+                Some((0, max))
+            }
+            Ty::SInt(w) => {
+                let half = 1i128 << (w - 1).min(126);
+                Some((-half, half - 1))
+            }
+            Ty::Nat => Some((0, i128::MAX)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int => write!(f, "int"),
+            Ty::Nat => write!(f, "nat"),
+            Ty::UInt(w) => write!(f, "u{w}"),
+            Ty::SInt(w) => write!(f, "i{w}"),
+            Ty::Seq(t) => write!(f, "Seq<{t}>"),
+            Ty::Map(k, v) => write!(f, "Map<{k}, {v}>"),
+            Ty::Set(t) => write!(f, "Set<{t}>"),
+            Ty::Datatype(n) => write!(f, "{n}"),
+            Ty::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Abstract(n) => write!(f, "#{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges() {
+        assert_eq!(Ty::UInt(8).int_range(), Some((0, 255)));
+        assert_eq!(Ty::SInt(8).int_range(), Some((-128, 127)));
+        assert_eq!(Ty::UInt(64).int_range(), Some((0, u64::MAX as i128)));
+        assert_eq!(Ty::Int.int_range(), None);
+        assert_eq!(Ty::Nat.int_range().unwrap().0, 0);
+    }
+
+    #[test]
+    fn exec_classification() {
+        assert!(Ty::UInt(64).is_exec());
+        assert!(!Ty::Int.is_exec());
+        assert!(!Ty::seq(Ty::UInt(64)).is_exec());
+        assert!(Ty::Tuple(vec![Ty::Bool, Ty::UInt(32)]).is_exec());
+        assert!(!Ty::Tuple(vec![Ty::Bool, Ty::Int]).is_exec());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Ty::seq(Ty::UInt(64)).to_string(), "Seq<u64>");
+        assert_eq!(Ty::map(Ty::Int, Ty::Bool).to_string(), "Map<int, bool>");
+    }
+}

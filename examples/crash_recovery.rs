@@ -1,0 +1,43 @@
+//! The persistent log under fire (§4.2.5): appends survive crashes
+//! exactly when committed, torn writes are harmless, and media corruption
+//! is detected — after verifying the abstract-log refinement.
+//!
+//! Run with: `cargo run -p veris --example crash_recovery`
+
+use veris_plog::{LogError, PLog, PMem};
+
+fn main() {
+    println!("== verifying the abstract-log refinement ==");
+    let k = veris_plog::model::abstract_log_krate();
+    let cfg = veris::veris_idioms::config_with_provers();
+    let rep = veris_vc::verify_krate(&k, &cfg, 1);
+    for f in &rep.functions {
+        println!("  {:<24} {:?}", f.name, f.status);
+    }
+    assert!(rep.all_verified());
+
+    println!("\n== crash-atomicity demo ==");
+    let mut log = PLog::format(PMem::new(64 * 1024));
+    log.append(b"record one").unwrap();
+    log.append(b"record two").unwrap();
+    println!("  appended 2 records, tail = {}", log.tail());
+    // Crash with a torn trailing write; recovery sees both records.
+    log.mem.crash(Some(5));
+    let log = PLog::recover(log.mem.clone()).unwrap();
+    let recs = log.iter_records().unwrap();
+    println!("  after crash + recovery: {} records", recs.len());
+    assert_eq!(recs.len(), 2);
+
+    println!("\n== corruption-detection demo ==");
+    let mut log = PLog::format(PMem::new(64 * 1024));
+    let pos = log.append(&vec![0xCCu8; 1024]).unwrap();
+    log.mem.corrupt(7, 32);
+    match log.read(pos) {
+        Err(LogError::CorruptRecord { offset }) => {
+            println!("  corruption detected at offset {offset} (CRC mismatch)");
+        }
+        Ok(_) => println!("  flips missed the record this time — still consistent"),
+        Err(e) => panic!("unexpected: {e:?}"),
+    }
+    println!("\ncrash_recovery OK");
+}

@@ -1,0 +1,35 @@
+//! The verified-style page table (§4.2.3): bit-vector lemmas first, then
+//! map / translate / unmap with directory reclamation.
+//!
+//! Run with: `cargo run -p veris --example pagetable_walk`
+
+use veris_pagetable::{MapResult, PageTable};
+
+fn main() {
+    println!("== bit-level lemmas (by bit_vector) ==");
+    let k = veris_pagetable::model::bitlevel_krate();
+    let cfg = veris::veris_idioms::config_with_provers();
+    let rep = veris_vc::verify_krate(&k, &cfg, 1);
+    for f in &rep.functions {
+        println!("  {:<28} {:?}", f.name, f.status);
+    }
+    assert!(rep.all_verified());
+
+    println!("\n== walking the table ==");
+    let mut pt = PageTable::new();
+    let va = 0x0000_7F80_1234_5000u64;
+    assert_eq!(pt.map(va, 0x9000, true, false), MapResult::Ok);
+    println!("  mapped {va:#x} -> 0x9000");
+    let pa = pt.translate(va | 0x42).unwrap();
+    println!("  translate({:#x}) = {pa:#x}", va | 0x42);
+    assert_eq!(pa, 0x9042);
+    let tables_before = pt.live_tables();
+    pt.unmap(va);
+    println!(
+        "  unmapped; directories reclaimed: {} -> {}",
+        tables_before,
+        pt.live_tables()
+    );
+    assert!(pt.translate(va).is_none());
+    println!("\npagetable_walk OK");
+}
