@@ -118,12 +118,16 @@ impl PageMeta {
     }
 }
 
+/// Per-page identity in the registry: owner heap id, block size, and the
+/// handle remote threads push frees onto.
+type PageIdentity = (usize, u64, Arc<ThreadFree>);
+
 /// The process-wide state: page registry (block address -> page identity)
 /// shared so any thread can route a `free`.
 #[derive(Default)]
 struct Registry {
-    /// Page base -> (owner heap id, block size, thread-free handle).
-    pages: Mutex<HashMap<u64, (usize, u64, Arc<ThreadFree>)>>,
+    /// Page base -> page identity.
+    pages: Mutex<HashMap<u64, PageIdentity>>,
 }
 
 /// The shared allocator context: OS arena + registry.

@@ -5,9 +5,11 @@
 //! cargo run --release -p veris-bench --bin figures -- all
 //! ```
 
+type FigureFn = fn() -> String;
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "help".into());
-    let figures: Vec<(&str, fn() -> String)> = vec![
+    let figures: Vec<(&str, FigureFn)> = vec![
         ("fig7a", veris_bench::fig7a::run),
         ("fig7b", veris_bench::fig7b::run),
         ("fig8", veris_bench::fig8::run),

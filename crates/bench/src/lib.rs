@@ -161,9 +161,61 @@ pub mod fig8 {
     }
 }
 
+/// The case-study krates of the paper's evaluation, by name. Shared between
+/// the Fig 9 table and the `profile` observability harness.
+pub mod casestudy {
+    use veris_vir::Krate;
+
+    /// Names accepted by [`krate`], in Fig 9 order.
+    pub const NAMES: [&str; 6] = ["ironkv", "nr", "pagetable", "mimalloc", "plog", "lists"];
+
+    /// Build the named case-study krate (`None` for an unknown name).
+    pub fn krate(name: &str) -> Option<Krate> {
+        Some(match name {
+            "ironkv" => veris_ironkv::model::concrete_krate(),
+            "nr" => nr_krate(),
+            "pagetable" => merge(vec![
+                veris_pagetable::model::bitlevel_krate(),
+                veris_pagetable::model::arith_krate(),
+                veris_pagetable::model::abstract_krate(),
+            ]),
+            "mimalloc" => merge(vec![
+                veris_alloc::model::address_krate(),
+                veris_alloc::model::spec_krate(),
+            ]),
+            "plog" => veris_plog::model::abstract_log_krate(),
+            "lists" => {
+                // pop_tail is the documented automation gap (DESIGN.md).
+                let mut k = veris_collections::model::singly_list_krate();
+                k.modules[0].functions.retain(|f| f.name != "pop_tail");
+                k
+            }
+            _ => return None,
+        })
+    }
+
+    pub fn merge(krates: Vec<Krate>) -> Krate {
+        let mut out = Krate::new();
+        for k in krates {
+            out.modules.extend(k.modules);
+        }
+        out
+    }
+
+    pub fn nr_krate() -> Krate {
+        // The NR obligations are generated from the VerusSync machine.
+        let sm = veris_nr::sync_model::cyclic_buffer_machine();
+        let module = veris_sync::compile(&sm).expect("NR machine compiles");
+        let mut k = Krate::new();
+        k.modules.push(module);
+        k
+    }
+}
+
 /// Fig 9: the macrobenchmark statistics table.
 pub mod fig9 {
     use super::*;
+    use crate::casestudy;
     use veris::report::{MacroRow, MacroTable};
 
     pub fn run() -> String {
@@ -188,56 +240,18 @@ pub mod fig9 {
             row.all_verified &= erep.all_verified();
             table.push(row);
         }
-        let systems: Vec<(&str, veris_vir::Krate)> = vec![
-            ("NR (VerusSync)", nr_krate()),
-            (
-                "Page table",
-                merge(vec![
-                    veris_pagetable::model::bitlevel_krate(),
-                    veris_pagetable::model::arith_krate(),
-                    veris_pagetable::model::abstract_krate(),
-                ]),
-            ),
-            (
-                "Mimalloc",
-                merge(vec![
-                    veris_alloc::model::address_krate(),
-                    veris_alloc::model::spec_krate(),
-                ]),
-            ),
-            ("P. log", veris_plog::model::abstract_log_krate()),
-            (
-                "Lists (milli)",
-                {
-                    // pop_tail is the documented automation gap (DESIGN.md);
-                    // Fig 9 reports verified systems, so it is excluded here.
-                    let mut k = veris_collections::model::singly_list_krate();
-                    k.modules[0].functions.retain(|f| f.name != "pop_tail");
-                    k
-                },
-            ),
+        let systems: [(&str, &str); 5] = [
+            ("NR (VerusSync)", "nr"),
+            ("Page table", "pagetable"),
+            ("Mimalloc", "mimalloc"),
+            ("P. log", "plog"),
+            ("Lists (milli)", "lists"),
         ];
-        for (name, krate) in systems {
-            table.push(MacroRow::measure(name, &krate, &cfg, threads));
+        for (label, name) in systems {
+            let krate = casestudy::krate(name).expect("known case study");
+            table.push(MacroRow::measure(label, &krate, &cfg, threads));
         }
         format!("Figure 9: macrobenchmark statistics\n{}", table.render())
-    }
-
-    fn merge(krates: Vec<veris_vir::Krate>) -> veris_vir::Krate {
-        let mut out = veris_vir::Krate::new();
-        for k in krates {
-            out.modules.extend(k.modules);
-        }
-        out
-    }
-
-    fn nr_krate() -> veris_vir::Krate {
-        // The NR obligations are generated from the VerusSync machine.
-        let sm = veris_nr::sync_model::cyclic_buffer_machine();
-        let module = veris_sync::compile(&sm).expect("NR machine compiles");
-        let mut k = veris_vir::Krate::new();
-        k.modules.push(module);
-        k
     }
 }
 

@@ -60,6 +60,9 @@ impl<T> SinglyLinkedList<T> {
     ///
     /// # Panics
     /// Panics if `i >= len` (the model requires `i < view().len()`).
+    // Intentionally named after the verified spec operation `index`, not
+    // the `std::ops::Index` trait (which cannot carry the precondition).
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, i: usize) -> &T {
         let mut cur = self.head.as_ref().expect("index out of bounds");
         for _ in 0..i {

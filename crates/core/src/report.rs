@@ -1,6 +1,7 @@
 //! Macrobenchmark reporting in the shape of the paper's Figure 9: line
 //! counts (trusted / proof / code), proof-to-code ratio, verification times
-//! at 1 and N cores, and total SMT query bytes.
+//! at 1 and N cores, total SMT query bytes, and the observability columns
+//! (rlimit resource units spent, quantifier instantiations).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -17,6 +18,11 @@ pub struct MacroRow {
     pub time_1core: Duration,
     pub time_ncore: Duration,
     pub smt_bytes: usize,
+    /// Deterministic resource units spent verifying at 1 core (the quantity
+    /// `--rlimit` budgets against), summed over all functions.
+    pub rlimit_spent: u64,
+    /// Total quantifier instantiations performed at 1 core.
+    pub quant_insts: u64,
     pub all_verified: bool,
 }
 
@@ -45,6 +51,8 @@ impl MacroRow {
             time_1core: one_core.wall_time,
             time_ncore: n_core.wall_time,
             smt_bytes: one_core.total_query_bytes(),
+            rlimit_spent: one_core.total_meter().total(),
+            quant_insts: one_core.merged_profile().total_instantiations(),
             all_verified: one_core.all_verified() && n_core.all_verified(),
         }
     }
@@ -66,15 +74,25 @@ impl MacroTable {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>4}",
-            "System", "trusted", "proof", "code", "P/C", "t(1core)", "t(Ncore)", "SMT(KB)", "ok"
+            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>4}",
+            "System",
+            "trusted",
+            "proof",
+            "code",
+            "P/C",
+            "t(1core)",
+            "t(Ncore)",
+            "SMT(KB)",
+            "rlimit",
+            "qinst",
+            "ok"
         );
         let mut total = LineCounts::default();
         for r in &self.rows {
             total.add(r.lines);
             let _ = writeln!(
                 out,
-                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>4}",
+                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4}",
                 r.system,
                 r.lines.trusted,
                 r.lines.proof,
@@ -83,6 +101,8 @@ impl MacroTable {
                 r.time_1core.as_secs_f64(),
                 r.time_ncore.as_secs_f64(),
                 r.smt_bytes / 1024,
+                r.rlimit_spent,
+                r.quant_insts,
                 if r.all_verified { "yes" } else { "NO" },
             );
         }
@@ -122,5 +142,7 @@ mod tests {
         let s = t.render();
         assert!(s.contains("demo"));
         assert!(s.contains("P/C"));
+        assert!(s.contains("rlimit"));
+        assert!(s.contains("qinst"));
     }
 }

@@ -51,8 +51,10 @@ pub fn verify_epr_module(krate: &Krate, module_name: &str) -> EprReport {
             report: KrateReport::default(),
         };
     }
-    let mut cfg = VcConfig::default();
-    cfg.epr_mode = true;
+    let cfg = VcConfig {
+        epr_mode: true,
+        ..VcConfig::default()
+    };
     let mut functions: Vec<FnReport> = Vec::new();
     let t0 = std::time::Instant::now();
     for f in &module.functions {
@@ -77,8 +79,10 @@ pub fn verify_epr_module(krate: &Krate, module_name: &str) -> EprReport {
 /// Check a single named proof function in EPR mode (used when only part of
 /// a module is EPR).
 pub fn verify_epr_function(krate: &Krate, fname: &str) -> FnReport {
-    let mut cfg = VcConfig::default();
-    cfg.epr_mode = true;
+    let cfg = VcConfig {
+        epr_mode: true,
+        ..VcConfig::default()
+    };
     verify_function(krate, fname, &cfg)
 }
 

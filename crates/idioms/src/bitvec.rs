@@ -4,8 +4,10 @@
 //! integers — the isolation is what keeps both encodings stable.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use veris_smt::bv::{prove_bv, BvResult};
+use veris_obs::ResourceMeter;
+use veris_smt::bv::{prove_bv_metered, BvResult};
 use veris_smt::term::{TermId, TermStore};
 use veris_vir::expr::{BinOp, Expr, ExprX, UnOp};
 use veris_vir::ty::Ty;
@@ -179,6 +181,15 @@ impl<'a> BvEnc<'a> {
 
 /// Prove a boolean VIR expression by bit-blasting.
 pub fn prove_bit_vector(e: &Expr) -> Result<BvOutcome, BvError> {
+    prove_bit_vector_metered(e, None)
+}
+
+/// [`prove_bit_vector`] with an optional resource meter charged for every
+/// blasted clause and SAT search step.
+pub fn prove_bit_vector_metered(
+    e: &Expr,
+    meter: Option<Arc<ResourceMeter>>,
+) -> Result<BvOutcome, BvError> {
     let width = infer_width(e)?.unwrap_or(64);
     let mut store = TermStore::new();
     let mut enc = BvEnc {
@@ -188,7 +199,7 @@ pub fn prove_bit_vector(e: &Expr) -> Result<BvOutcome, BvError> {
     };
     let goal = enc.enc(e)?;
     let vars = enc.vars.clone();
-    match prove_bv(&mut store, goal) {
+    match prove_bv_metered(&mut store, goal, meter) {
         Ok(()) => Ok(BvOutcome::Proved),
         Err(BvResult::Sat(model)) => {
             let mut cex: Vec<(String, u64)> = vars

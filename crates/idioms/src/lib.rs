@@ -26,13 +26,18 @@ use veris_vir::stmt::Prover;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StdProvers;
 
-impl ProverRegistry for StdProvers {
-    fn prove(&self, krate: &Krate, ob: &SideObligation) -> ProverOutcome {
+impl StdProvers {
+    fn dispatch(
+        &self,
+        krate: &Krate,
+        ob: &SideObligation,
+        meter: Option<&std::sync::Arc<veris_obs::ResourceMeter>>,
+    ) -> ProverOutcome {
         match ob.prover {
             Prover::Default => {
                 ProverOutcome::Unknown("default prover routed as side obligation".into())
             }
-            Prover::BitVector => match bitvec::prove_bit_vector(&ob.expr) {
+            Prover::BitVector => match bitvec::prove_bit_vector_metered(&ob.expr, meter.cloned()) {
                 Ok(bitvec::BvOutcome::Proved) => ProverOutcome::Proved,
                 Ok(bitvec::BvOutcome::Refuted(cex)) => {
                     ProverOutcome::Failed(format!("bit-vector counterexample: {cex:?}"))
@@ -64,11 +69,27 @@ impl ProverRegistry for StdProvers {
     }
 }
 
+impl ProverRegistry for StdProvers {
+    fn prove(&self, krate: &Krate, ob: &SideObligation) -> ProverOutcome {
+        self.dispatch(krate, ob, None)
+    }
+
+    fn prove_metered(
+        &self,
+        krate: &Krate,
+        ob: &SideObligation,
+        meter: &std::sync::Arc<veris_obs::ResourceMeter>,
+    ) -> ProverOutcome {
+        self.dispatch(krate, ob, Some(meter))
+    }
+}
+
 /// Convenience: a [`veris_vc::VcConfig`] with the standard provers installed.
 pub fn config_with_provers() -> veris_vc::VcConfig {
-    let mut cfg = veris_vc::VcConfig::default();
-    cfg.provers = Some(std::sync::Arc::new(StdProvers));
-    cfg
+    veris_vc::VcConfig {
+        provers: Some(std::sync::Arc::new(StdProvers)),
+        ..veris_vc::VcConfig::default()
+    }
 }
 
 #[cfg(test)]

@@ -58,15 +58,13 @@ fn add_nonlinear_lemmas(solver: &mut Solver) {
             TermKind::NlMul(fs) => {
                 products.push((t, fs.clone()));
             }
-            TermKind::IntConst(k) => {
-                if !constants.contains(k) && k.abs() < 1_000_000 {
-                    constants.push(*k);
-                }
+            TermKind::IntConst(k) if !constants.contains(k) && k.abs() < 1_000_000 => {
+                constants.push(*k);
             }
-            TermKind::Linear { konst, .. } => {
-                if !constants.contains(konst) && konst.abs() < 1_000_000 {
-                    constants.push(*konst);
-                }
+            TermKind::Linear { konst, .. }
+                if !constants.contains(konst) && konst.abs() < 1_000_000 =>
+            {
+                constants.push(*konst);
             }
             _ => {}
         }

@@ -75,11 +75,10 @@ impl DelegationMap {
         }
         // Re-append pivots above hi+1.
         for (i, &p) in self.pivots.iter().enumerate() {
-            if p > hi.saturating_add(1) || (hi < u64::MAX && p == hi + 1 && false) {
-                if p > hi + 1 {
-                    new_pivots.push(p);
-                    new_hosts.push(self.hosts[i]);
-                }
+            // p > hi+1 (saturating: impossible when hi is u64::MAX).
+            if p > hi.saturating_add(1) {
+                new_pivots.push(p);
+                new_hosts.push(self.hosts[i]);
             }
         }
         // Merge adjacent ranges with equal hosts (keeps the list compact).

@@ -1,0 +1,28 @@
+//! `veris-obs`: observability for the verification pipeline.
+//!
+//! Three pieces, mirroring how real Verus runs are governed and diagnosed:
+//!
+//! * [`meter`] — deterministic resource metering. A [`ResourceMeter`] holds
+//!   monotone counters (SAT conflicts, EUF merges, simplex pivots, e-matching
+//!   instantiations, ...) charged from the solver's inner loops. A per-function
+//!   `rlimit` budget turns runaway queries into a clean, reproducible
+//!   `resource limit exceeded` verdict instead of a hang — the `--rlimit`
+//!   idiom, measured in solver work rather than wall-clock so the outcome is
+//!   identical across machines and thread counts.
+//! * [`trace`] — phase timing spans aggregated into a Verus-`--time`-style
+//!   tree (`total-time` / `vir-time` / `smt-time: smt-init, smt-run`) with
+//!   human and JSON emitters.
+//! * [`quant`] — a quantifier-instantiation profiler: per-quantifier
+//!   instantiation counts, triggers matched, and generation depth, with a
+//!   top-k "most instantiated" report (the `--profile` idiom).
+//!
+//! The crate is a dependency leaf: pure `std`, no solver types, so every
+//! layer of the pipeline can use it without cycles.
+
+pub mod meter;
+pub mod quant;
+pub mod trace;
+
+pub use meter::{Counter, MeterSnapshot, ResourceMeter};
+pub use quant::{QuantProfile, QuantStats};
+pub use trace::{time, PhaseTimes, TimeTree};

@@ -1,0 +1,170 @@
+//! Quantifier-instantiation profiler (the Verus `--profile` idiom).
+//!
+//! The quantifier engine records, per named quantifier, how many instances
+//! it asserted, how many trigger matches it saw, and the deepest
+//! instantiation generation it reached. A top-k report makes trigger
+//! regressions — a broad trigger suddenly instantiating 100× more — stand
+//! out immediately, and names the offending quantifier when an `rlimit`
+//! trips during e-matching.
+
+use std::collections::BTreeMap;
+
+/// Per-quantifier statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantStats {
+    /// Instances actually asserted into the solver.
+    pub instantiations: u64,
+    /// Trigger matches found (before per-round caps and dedup).
+    pub triggers_matched: u64,
+    /// Deepest generation an instance of this quantifier reached.
+    pub max_generation: u32,
+}
+
+/// Profile over all quantifiers seen in one check (or aggregated over a
+/// krate). Keyed by quantifier name; `BTreeMap` keeps iteration — and
+/// therefore every report — deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuantProfile {
+    entries: BTreeMap<String, QuantStats>,
+}
+
+impl QuantProfile {
+    pub fn new() -> QuantProfile {
+        QuantProfile::default()
+    }
+
+    /// Record activity for `quant`. All fields accumulate; generation
+    /// takes the max.
+    pub fn record(
+        &mut self,
+        quant: &str,
+        instantiations: u64,
+        triggers_matched: u64,
+        generation: u32,
+    ) {
+        let e = self.entries.entry(quant.to_string()).or_default();
+        e.instantiations += instantiations;
+        e.triggers_matched += triggers_matched;
+        e.max_generation = e.max_generation.max(generation);
+    }
+
+    pub fn merge(&mut self, other: &QuantProfile) {
+        for (name, s) in &other.entries {
+            let e = self.entries.entry(name.clone()).or_default();
+            e.instantiations += s.instantiations;
+            e.triggers_matched += s.triggers_matched;
+            e.max_generation = e.max_generation.max(s.max_generation);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn total_instantiations(&self) -> u64 {
+        self.entries.values().map(|s| s.instantiations).sum()
+    }
+
+    pub fn get(&self, quant: &str) -> Option<QuantStats> {
+        self.entries.get(quant).copied()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &QuantStats)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The `k` most-instantiated quantifiers, ties broken by name so the
+    /// report is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<(String, QuantStats)> {
+        let mut v: Vec<(String, QuantStats)> =
+            self.entries.iter().map(|(n, s)| (n.clone(), *s)).collect();
+        v.sort_by(|a, b| {
+            b.1.instantiations
+                .cmp(&a.1.instantiations)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Human-readable top-k table.
+    pub fn render_top_k(&self, k: usize) -> String {
+        let rows = self.top_k(k);
+        if rows.is_empty() {
+            return "  (no quantifiers instantiated)\n".to_string();
+        }
+        let name_w = rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("quantifier".len());
+        let mut out = format!(
+            "  {:<name_w$} {:>10} {:>10} {:>7}\n",
+            "quantifier", "instances", "matches", "maxgen"
+        );
+        for (name, s) in rows {
+            out.push_str(&format!(
+                "  {:<name_w$} {:>10} {:>10} {:>7}\n",
+                name, s.instantiations, s.triggers_matched, s.max_generation
+            ));
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(n, s)| {
+                format!(
+                    "{{\"quantifier\":\"{}\",\"instantiations\":{},\"triggers_matched\":{},\"max_generation\":{}}}",
+                    n, s.instantiations, s.triggers_matched, s.max_generation
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_top_k() {
+        let mut p = QuantProfile::new();
+        p.record("ax_loop", 10, 30, 3);
+        p.record("ax_tame", 2, 2, 1);
+        p.record("ax_loop", 5, 9, 4);
+        let top = p.top_k(1);
+        assert_eq!(top[0].0, "ax_loop");
+        assert_eq!(top[0].1.instantiations, 15);
+        assert_eq!(top[0].1.max_generation, 4);
+        assert_eq!(p.total_instantiations(), 17);
+    }
+
+    #[test]
+    fn ties_break_by_name() {
+        let mut p = QuantProfile::new();
+        p.record("b", 5, 0, 0);
+        p.record("a", 5, 0, 0);
+        let top = p.top_k(2);
+        assert_eq!(top[0].0, "a");
+        assert_eq!(top[1].0, "b");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = QuantProfile::new();
+        a.record("q", 1, 2, 1);
+        let mut b = QuantProfile::new();
+        b.record("q", 3, 4, 5);
+        b.record("r", 1, 1, 0);
+        a.merge(&b);
+        assert_eq!(a.get("q").unwrap().instantiations, 4);
+        assert_eq!(a.get("q").unwrap().max_generation, 5);
+        assert!(a.to_json().contains("\"quantifier\":\"r\""));
+        assert!(a.render_top_k(5).contains("instances"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Phase timing spans and the `--time`-style tree report.
+//!
+//! [`PhaseTimes`] is the fixed per-function breakdown the pipeline records
+//! (vir→VC lowering, SMT encoding, solver init, solve). [`TimeTree`] is the
+//! general aggregation: named durations arranged in a tree and rendered in
+//! the Verus `--time` shape —
+//!
+//! ```text
+//! total-time:            1234 ms
+//!     vir-time:            17 ms
+//!     air-time:            41 ms
+//!     smt-time:          1176 ms
+//!         smt-init:       102 ms
+//!         smt-run:       1074 ms
+//! ```
+//!
+//! Timing is observational only: nothing in the pipeline makes a decision
+//! based on a span, so traces never perturb verdicts or meter counts.
+
+use std::time::{Duration, Instant};
+
+/// Run `f`, adding its wall-clock duration to `slot`.
+pub fn time<T>(slot: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    *slot += t.elapsed();
+    out
+}
+
+/// Fixed per-function phase breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// vir→VC lowering (WP calculus over the function body).
+    pub vir: Duration,
+    /// Encoding VCs and axioms into solver terms.
+    pub encode: Duration,
+    /// Solver construction and assertion ingestion.
+    pub smt_init: Duration,
+    /// Time inside `Solver::check`.
+    pub smt_run: Duration,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> Duration {
+        self.vir + self.encode + self.smt_init + self.smt_run
+    }
+
+    pub fn add(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            vir: self.vir + other.vir,
+            encode: self.encode + other.encode,
+            smt_init: self.smt_init + other.smt_init,
+            smt_run: self.smt_run + other.smt_run,
+        }
+    }
+
+    /// Arrange the breakdown in the Verus `--time` hierarchy. The `encode`
+    /// phase plays the role of Verus's `air-time` (VC → solver terms).
+    pub fn to_tree(&self) -> TimeTree {
+        let mut t = TimeTree::new("total-time", self.total());
+        t.push(TimeTree::new("vir-time", self.vir));
+        t.push(TimeTree::new("air-time", self.encode));
+        let mut smt = TimeTree::new("smt-time", self.smt_init + self.smt_run);
+        smt.push(TimeTree::new("smt-init", self.smt_init));
+        smt.push(TimeTree::new("smt-run", self.smt_run));
+        t.push(smt);
+        t
+    }
+}
+
+/// A named duration with ordered children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeTree {
+    pub name: String,
+    pub duration: Duration,
+    pub children: Vec<TimeTree>,
+}
+
+impl TimeTree {
+    pub fn new(name: &str, duration: Duration) -> TimeTree {
+        TimeTree {
+            name: name.to_string(),
+            duration,
+            children: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, child: TimeTree) {
+        self.children.push(child);
+    }
+
+    /// Merge another tree into this one: durations add, children are
+    /// matched by name (order taken from `self`, unmatched appended).
+    pub fn merge(&mut self, other: &TimeTree) {
+        self.duration += other.duration;
+        for oc in &other.children {
+            match self.children.iter_mut().find(|c| c.name == oc.name) {
+                Some(c) => c.merge(oc),
+                None => self.children.push(oc.clone()),
+            }
+        }
+    }
+
+    /// Render in the `--time` shape: 4-space indent per level, millisecond
+    /// values right-aligned in a shared column.
+    pub fn render(&self) -> String {
+        fn label_width(t: &TimeTree, depth: usize, max: &mut usize) {
+            *max = (*max).max(depth * 4 + t.name.len() + 1);
+            for c in &t.children {
+                label_width(c, depth + 1, max);
+            }
+        }
+        fn emit(t: &TimeTree, depth: usize, col: usize, out: &mut String) {
+            let label = format!("{}{}:", "    ".repeat(depth), t.name);
+            let ms = t.duration.as_millis();
+            out.push_str(&format!("{label:<col$} {ms:>8} ms\n"));
+            for c in &t.children {
+                emit(c, depth + 1, col, out);
+            }
+        }
+        let mut col = 0;
+        label_width(self, 0, &mut col);
+        let mut out = String::new();
+        emit(self, 0, col, &mut out);
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let children: Vec<String> = self.children.iter().map(|c| c.to_json()).collect();
+        format!(
+            "{{\"name\":\"{}\",\"ms\":{},\"children\":[{}]}}",
+            self.name,
+            self.duration.as_millis(),
+            children.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates() {
+        let mut slot = Duration::ZERO;
+        let v = time(&mut slot, || 41 + 1);
+        assert_eq!(v, 42);
+        let before = slot;
+        time(&mut slot, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(slot > before);
+    }
+
+    #[test]
+    fn tree_shape_matches_verus_time() {
+        let p = PhaseTimes {
+            vir: Duration::from_millis(17),
+            encode: Duration::from_millis(41),
+            smt_init: Duration::from_millis(102),
+            smt_run: Duration::from_millis(1074),
+        };
+        let r = p.to_tree().render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("total-time:"));
+        assert!(lines[0].ends_with("1234 ms"));
+        assert!(lines[1].trim_start().starts_with("vir-time:"));
+        assert!(lines[3].trim_start().starts_with("smt-time:"));
+        assert!(lines[4].starts_with("        smt-init:"));
+        assert!(lines[5].contains("1074 ms"));
+    }
+
+    #[test]
+    fn merge_adds_by_name() {
+        let a = PhaseTimes {
+            vir: Duration::from_millis(5),
+            smt_run: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = PhaseTimes {
+            vir: Duration::from_millis(7),
+            smt_init: Duration::from_millis(3),
+            ..Default::default()
+        };
+        let mut t = a.to_tree();
+        t.merge(&b.to_tree());
+        assert_eq!(t.duration, Duration::from_millis(25));
+        assert_eq!(t.children[0].duration, Duration::from_millis(12));
+        let json = t.to_json();
+        assert!(json.contains("\"name\":\"smt-init\""));
+    }
+}

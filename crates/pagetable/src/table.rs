@@ -106,14 +106,13 @@ impl PageTable {
     pub fn map(&mut self, va: u64, frame: u64, writable: bool, user: bool) -> MapResult {
         let idx = va_indices(va);
         let mut table = self.root;
-        for level in 0..LEVELS - 1 {
-            let e = Pte(self.mem.read(table, idx[level]));
+        for &i in idx.iter().take(LEVELS - 1) {
+            let e = Pte(self.mem.read(table, i));
             table = if e.is_present() {
                 e.frame()
             } else {
                 let new = self.mem.alloc_table();
-                self.mem
-                    .write(table, idx[level], Pte::new(new, true, true).0);
+                self.mem.write(table, i, Pte::new(new, true, true).0);
                 new
             };
         }
@@ -170,8 +169,8 @@ impl PageTable {
     pub fn translate(&self, va: u64) -> Option<u64> {
         let idx = va_indices(va);
         let mut table = self.root;
-        for level in 0..LEVELS - 1 {
-            let e = Pte(self.mem.read(table, idx[level]));
+        for &i in idx.iter().take(LEVELS - 1) {
+            let e = Pte(self.mem.read(table, i));
             if !e.is_present() {
                 return None;
             }
@@ -266,11 +265,11 @@ mod tests {
                 let pa = (frame + 1) << 12;
                 if op == 0 {
                     let r = pt.map(va, pa, true, false);
-                    if reference.contains_key(&va) {
-                        proptest::prop_assert_eq!(r, MapResult::AlreadyMapped);
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(e) = reference.entry(va) {
                         proptest::prop_assert_eq!(r, MapResult::Ok);
-                        reference.insert(va, pa);
+                        e.insert(pa);
+                    } else {
+                        proptest::prop_assert_eq!(r, MapResult::AlreadyMapped);
                     }
                 } else {
                     let r = pt.unmap(va);

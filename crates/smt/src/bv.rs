@@ -7,6 +7,9 @@
 //! relationally (`a = b*q + r ∧ r < b`) in double width to avoid overflow.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use veris_obs::{Counter, ResourceMeter};
 
 use crate::sat::{FinalCheck, LBool, Lit, SatLimits, SatResult, SatSolver};
 use crate::term::{TermId, TermKind, TermStore};
@@ -30,6 +33,8 @@ pub struct BvSolver {
     lit_true: Lit,
     /// Variables whose model values we report back.
     vars: Vec<TermId>,
+    /// Optional resource meter; emitted CNF clauses are charged to it.
+    meter: Option<Arc<ResourceMeter>>,
 }
 
 impl Default for BvSolver {
@@ -50,7 +55,23 @@ impl BvSolver {
             bools: HashMap::new(),
             lit_true,
             vars: Vec::new(),
+            meter: None,
         }
+    }
+
+    /// Attach a resource meter: emitted clauses are charged as
+    /// `BitblastClauses` and the underlying SAT search is metered too.
+    pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
+        self.sat.set_meter(meter.clone());
+        self.meter = Some(meter);
+    }
+
+    /// Add a clause, charging it to the meter when one is attached.
+    fn clause(&mut self, lits: Vec<Lit>) {
+        if let Some(m) = &self.meter {
+            m.charge(Counter::BitblastClauses, 1);
+        }
+        self.sat.add_clause(lits);
     }
 
     fn lit_false(&self) -> Lit {
@@ -88,9 +109,9 @@ impl BvSolver {
             return self.lit_false();
         }
         let o = self.fresh();
-        self.sat.add_clause(vec![o.negate(), a]);
-        self.sat.add_clause(vec![o.negate(), b]);
-        self.sat.add_clause(vec![o, a.negate(), b.negate()]);
+        self.clause(vec![o.negate(), a]);
+        self.clause(vec![o.negate(), b]);
+        self.clause(vec![o, a.negate(), b.negate()]);
         o
     }
 
@@ -120,11 +141,10 @@ impl BvSolver {
             return self.lit_true;
         }
         let o = self.fresh();
-        self.sat.add_clause(vec![o.negate(), a, b]);
-        self.sat
-            .add_clause(vec![o.negate(), a.negate(), b.negate()]);
-        self.sat.add_clause(vec![o, a, b.negate()]);
-        self.sat.add_clause(vec![o, a.negate(), b]);
+        self.clause(vec![o.negate(), a, b]);
+        self.clause(vec![o.negate(), a.negate(), b.negate()]);
+        self.clause(vec![o, a, b.negate()]);
+        self.clause(vec![o, a.negate(), b]);
         o
     }
 
@@ -159,7 +179,7 @@ impl BvSolver {
     fn negate_bits(&mut self, a: &[Lit]) -> Vec<Lit> {
         // Two's complement: ~a + 1
         let na: Vec<Lit> = a.iter().map(|l| l.negate()).collect();
-        let zero: Vec<Lit> = std::iter::repeat(self.lit_false()).take(a.len()).collect();
+        let zero: Vec<Lit> = std::iter::repeat_n(self.lit_false(), a.len()).collect();
         let (out, _) = self.adder(&na, &zero, self.lit_true);
         out
     }
@@ -167,7 +187,7 @@ impl BvSolver {
     fn mul_bits(&mut self, a: &[Lit], b: &[Lit], out_width: usize) -> Vec<Lit> {
         // Shift-add: accumulate a << i masked by b[i].
         let w = out_width;
-        let mut acc: Vec<Lit> = std::iter::repeat(self.lit_false()).take(w).collect();
+        let mut acc: Vec<Lit> = std::iter::repeat_n(self.lit_false(), w).collect();
         for i in 0..b.len().min(w) {
             // partial = (a << i) & b[i], truncated to w.
             let mut partial: Vec<Lit> = Vec::with_capacity(w);
@@ -312,16 +332,16 @@ impl BvSolver {
                 let eq = self.eq_bits(&a2, &sum);
                 // r < b (when b != 0)
                 let rb = self.ult_bits(&r, &bb);
-                let zero: Vec<Lit> = std::iter::repeat(self.lit_false()).take(w).collect();
+                let zero: Vec<Lit> = std::iter::repeat_n(self.lit_false(), w).collect();
                 let b_is_zero = self.eq_bits(&bb, &zero);
                 // b == 0: q = all ones, r = a (SMT-LIB semantics).
-                let ones: Vec<Lit> = std::iter::repeat(self.lit_true).take(w).collect();
+                let ones: Vec<Lit> = std::iter::repeat_n(self.lit_true, w).collect();
                 let q_ones = self.eq_bits(&q, &ones);
                 let r_eq_a = self.eq_bits(&r, &ab);
                 let div_by_zero_case = self.gate_and(q_ones, r_eq_a);
                 let normal = self.gate_and(eq, rb);
                 let constraint = self.gate_mux(b_is_zero, div_by_zero_case, normal);
-                self.sat.add_clause(vec![constraint]);
+                self.clause(vec![constraint]);
                 if is_div {
                     q
                 } else {
@@ -422,7 +442,7 @@ impl BvSolver {
     /// Assert a boolean term.
     pub fn assert(&mut self, store: &TermStore, t: TermId) {
         let l = self.encode_bool(store, t);
-        self.sat.add_clause(vec![l]);
+        self.clause(vec![l]);
     }
 
     /// Check satisfiability of the asserted formulas.
@@ -455,8 +475,21 @@ impl BvSolver {
 /// Prove the validity of a boolean bv formula: assert its negation and
 /// expect unsat. Returns `Ok(())` on valid, a countermodel on invalid.
 pub fn prove_bv(store: &mut TermStore, goal: TermId) -> Result<(), BvResult> {
+    prove_bv_metered(store, goal, None)
+}
+
+/// [`prove_bv`] with an optional resource meter charged for every blasted
+/// clause and every SAT search step.
+pub fn prove_bv_metered(
+    store: &mut TermStore,
+    goal: TermId,
+    meter: Option<Arc<ResourceMeter>>,
+) -> Result<(), BvResult> {
     let neg = store.mk_not(goal);
     let mut solver = BvSolver::new();
+    if let Some(m) = meter {
+        solver.set_meter(m);
+    }
     solver.assert(store, neg);
     match solver.check(store) {
         BvResult::Unsat => Ok(()),

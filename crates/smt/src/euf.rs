@@ -8,6 +8,9 @@
 //! responsible literals, which the solver negates into a learned clause.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use veris_obs::{Counter, ResourceMeter};
 
 use crate::sat::Lit;
 
@@ -50,6 +53,8 @@ pub struct Euf {
     /// Disequalities: (a, b, literal).
     diseqs: Vec<(NodeId, NodeId, Lit)>,
     pending: Vec<(NodeId, NodeId, Reason)>,
+    /// Optional resource meter; union-find merges are charged to it.
+    meter: Option<Arc<ResourceMeter>>,
 }
 
 impl Default for Euf {
@@ -69,7 +74,13 @@ impl Euf {
             sig_table: HashMap::new(),
             diseqs: Vec::new(),
             pending: Vec::new(),
+            meter: None,
         }
+    }
+
+    /// Attach a resource meter; merges are charged to it from now on.
+    pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
+        self.meter = Some(meter);
     }
 
     /// Register a node. `tag` identifies the operator (two nodes are
@@ -162,6 +173,9 @@ impl Euf {
         let rb = self.find(b);
         if ra == rb {
             return;
+        }
+        if let Some(m) = &self.meter {
+            m.charge(Counter::EufMerges, 1);
         }
         // Add the proof-forest edge a -> b by reversing the path from `a` to
         // its proof root, then hanging it under `b`'s tree.

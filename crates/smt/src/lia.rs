@@ -10,6 +10,9 @@
 //! wrapping, so `Unsat` answers are always trustworthy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use veris_obs::{Counter, ResourceMeter};
 
 /// Opaque reason tag attached to asserted bounds; the SMT layer maps tags
 /// back to (sets of) SAT literals when building conflict clauses.
@@ -175,6 +178,9 @@ pub struct Lia {
     /// Is this var required to be integral? (All real columns are; slacks of
     /// integer combos are too.)
     is_int: Vec<bool>,
+    /// Optional resource meter. `Arc`-shared so branch-and-bound clones keep
+    /// charging the same account.
+    meter: Option<Arc<ResourceMeter>>,
 }
 
 impl Default for Lia {
@@ -195,7 +201,13 @@ impl Lia {
             basic_in: Vec::new(),
             combos: HashMap::new(),
             is_int: Vec::new(),
+            meter: None,
         }
+    }
+
+    /// Attach a resource meter; pivots and branch splits are charged to it.
+    pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
+        self.meter = Some(meter);
     }
 
     pub fn new_var(&mut self) -> LVar {
@@ -502,6 +514,9 @@ impl Lia {
 
     /// Pivot basic `xi` with nonbasic `xj` and set β(xi) = target.
     fn pivot_and_update(&mut self, xi: usize, xj: usize, target: Rat) -> Result<(), Overflow> {
+        if let Some(m) = &self.meter {
+            m.charge(Counter::SimplexPivots, 1);
+        }
         let row_idx = self.basic_in[xi].unwrap();
         let aij = *self.rows[row_idx].get(&xj).expect("pivot coeff");
         let theta = target.sub(&self.beta[xi])?.div(&aij)?;
@@ -564,6 +579,12 @@ impl Lia {
     fn check_bb(&mut self, budget: &mut usize, depth: usize) -> Result<LiaOutcome, Overflow> {
         if *budget == 0 || depth > 200 {
             return Ok(LiaOutcome::Unknown);
+        }
+        if let Some(m) = &self.meter {
+            m.charge(Counter::BranchSplits, 1);
+            if m.check("lia") {
+                return Ok(LiaOutcome::Unknown);
+            }
         }
         *budget -= 1;
         if let Some(conflict) = self.check_rational()? {

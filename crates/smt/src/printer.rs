@@ -4,14 +4,57 @@
 //! Figure 9 reports (`SMT (MB)` — total bytes of solver input).
 
 use std::collections::HashSet;
-use std::fmt::Write as _;
+use std::fmt::Write;
 
 use crate::term::{Sort, SortId, TermId, TermKind, TermStore};
+
+/// A sink that counts bytes written without storing them. Feeding it to
+/// [`write_smtlib`] computes the query-size metric in O(1) memory instead of
+/// materializing the full SMT-LIB string.
+#[derive(Default)]
+pub struct ByteCounter {
+    bytes: usize,
+}
+
+impl ByteCounter {
+    pub fn new() -> ByteCounter {
+        ByteCounter::default()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Write for ByteCounter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.bytes += s.len();
+        Ok(())
+    }
+}
 
 /// Render `asserted` as an SMT-LIB 2 script (declarations + assertions).
 pub fn print_smtlib(store: &TermStore, asserted: &[TermId]) -> String {
     let mut out = String::new();
-    out.push_str("(set-logic ALL)\n");
+    write_smtlib(store, asserted, &mut out).expect("String sink never fails");
+    out
+}
+
+/// Size in bytes of the SMT-LIB rendering of `asserted`, computed with a
+/// streaming [`ByteCounter`] sink (no intermediate string).
+pub fn query_size_bytes(store: &TermStore, asserted: &[TermId]) -> usize {
+    let mut sink = ByteCounter::new();
+    write_smtlib(store, asserted, &mut sink).expect("ByteCounter never fails");
+    sink.bytes()
+}
+
+/// Stream the SMT-LIB 2 script for `asserted` into any [`fmt::Write`] sink.
+pub fn write_smtlib<W: Write>(
+    store: &TermStore,
+    asserted: &[TermId],
+    out: &mut W,
+) -> std::fmt::Result {
+    out.write_str("(set-logic ALL)\n")?;
     let mut seen_terms = HashSet::new();
     let mut decl_sorts: Vec<SortId> = Vec::new();
     let mut decl_vars: Vec<TermId> = Vec::new();
@@ -28,35 +71,34 @@ pub fn print_smtlib(store: &TermStore, asserted: &[TermId]) -> String {
     }
     for s in decl_sorts {
         if let Sort::Uninterp(sym) = store.sort_data(s) {
-            let _ = writeln!(out, "(declare-sort {} 0)", store.sym_name(*sym));
+            writeln!(out, "(declare-sort {} 0)", store.sym_name(*sym))?;
         }
     }
     for v in decl_vars {
         if let TermKind::Var(sym, sort) = store.kind(v) {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "(declare-const {} {})",
                 store.sym_name(*sym),
                 sort_name(store, *sort)
-            );
+            )?;
         }
     }
     for f in decl_funcs {
         let decl = store.func(f);
         let args: Vec<String> = decl.args.iter().map(|&s| sort_name(store, s)).collect();
-        let _ = writeln!(
+        writeln!(
             out,
             "(declare-fun {} ({}) {})",
             store.sym_name(decl.name),
             args.join(" "),
             sort_name(store, decl.ret)
-        );
+        )?;
     }
     for &t in asserted {
-        let _ = writeln!(out, "(assert {})", store.display(t));
+        writeln!(out, "(assert {})", store.display(t))?;
     }
-    out.push_str("(check-sat)\n");
-    out
+    out.write_str("(check-sat)\n")
 }
 
 fn sort_name(store: &TermStore, s: SortId) -> String {
@@ -85,15 +127,11 @@ fn collect(
         sorts.push(sort);
     }
     match store.kind(t) {
-        TermKind::Var(..) => {
-            if !vars.contains(&t) {
-                vars.push(t);
-            }
+        TermKind::Var(..) if !vars.contains(&t) => {
+            vars.push(t);
         }
-        TermKind::App(f, _) => {
-            if !funcs.contains(f) {
-                funcs.push(*f);
-            }
+        TermKind::App(f, _) if !funcs.contains(f) => {
+            funcs.push(*f);
         }
         _ => {}
     }
@@ -142,5 +180,23 @@ mod tests {
         let small = print_smtlib(&s, &asserted[..2]).len();
         let big = print_smtlib(&s, &asserted).len();
         assert!(big > small);
+    }
+
+    #[test]
+    fn streaming_count_matches_materialized_length() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let x = s.mk_var("x", int);
+        let f = s.declare_fun("f", vec![int], int);
+        let fx = s.mk_app(f, vec![x]);
+        let zero = s.mk_int(0);
+        let le = s.mk_le(fx, zero);
+        let ge = s.mk_le(zero, fx);
+        let asserted = [le, ge];
+        assert_eq!(
+            query_size_bytes(&s, &asserted),
+            print_smtlib(&s, &asserted).len()
+        );
+        assert_eq!(query_size_bytes(&s, &[]), print_smtlib(&s, &[]).len());
     }
 }

@@ -302,7 +302,9 @@ fn match_pattern_syntactic(
 }
 
 /// The head function symbol of a pattern, used to index ground terms.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// `Ord` so index traversals can be made deterministic (rlimit verdicts
+/// must not depend on hash iteration order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum PatternHead {
     Func(crate::term::FuncId),
     DtSel(crate::term::DatatypeId, u32, u32),

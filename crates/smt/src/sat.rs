@@ -6,6 +6,15 @@
 //! backtracks to level 0 first), and the caller supplies a *final-check*
 //! callback invoked on every full assignment; the callback either accepts
 //! the model or returns a conflict clause to learn.
+//!
+//! When a [`ResourceMeter`] is attached, the search charges conflicts,
+//! decisions, and propagations to it, and aborts with `Unknown` once the
+//! meter's budget trips — checked only at conflicts, so the abort point is
+//! a deterministic function of the input.
+
+use std::sync::Arc;
+
+use veris_obs::{Counter, ResourceMeter};
 
 /// A boolean variable, numbered from 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -137,6 +146,8 @@ pub struct SatSolver {
     pub decisions: u64,
     pub propagations: u64,
     root_conflict: bool,
+    /// Optional resource meter; charged during search when present.
+    meter: Option<Arc<ResourceMeter>>,
 }
 
 impl Default for SatSolver {
@@ -167,7 +178,13 @@ impl SatSolver {
             decisions: 0,
             propagations: 0,
             root_conflict: false,
+            meter: None,
         }
+    }
+
+    /// Attach a resource meter; search work is charged to it from now on.
+    pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
+        self.meter = Some(meter);
     }
 
     pub fn new_var(&mut self) -> BVar {
@@ -290,6 +307,9 @@ impl SatSolver {
             let l = self.trail[self.qhead];
             self.qhead += 1;
             self.propagations += 1;
+            if let Some(m) = &self.meter {
+                m.charge(Counter::SatPropagations, 1);
+            }
             // Clauses watching !l need a new watch or are unit/conflicting.
             let mut watchers = std::mem::take(&mut self.watches[l.index()]);
             let mut j = 0;
@@ -587,7 +607,13 @@ impl SatSolver {
                 if self.conflicts - conflicts_at_start > limits.max_conflicts {
                     return SatResult::Unknown;
                 }
-                if self.conflicts % 256 == 0 {
+                if let Some(m) = &self.meter {
+                    m.charge(Counter::SatConflicts, 1);
+                    if m.check("sat") {
+                        return SatResult::Unknown;
+                    }
+                }
+                if self.conflicts.is_multiple_of(256) {
                     if let Some(d) = limits.deadline {
                         if std::time::Instant::now() > d {
                             return SatResult::Unknown;
@@ -627,6 +653,12 @@ impl SatSolver {
                                 if self.conflicts - conflicts_at_start > limits.max_conflicts {
                                     return SatResult::Unknown;
                                 }
+                                if let Some(m) = &self.meter {
+                                    m.charge(Counter::SatConflicts, 1);
+                                    if m.check("sat") {
+                                        return SatResult::Unknown;
+                                    }
+                                }
                                 if clause.is_empty() {
                                     self.root_conflict = true;
                                     return SatResult::Unsat;
@@ -651,6 +683,9 @@ impl SatSolver {
                     }
                     Some(l) => {
                         self.decisions += 1;
+                        if let Some(m) = &self.meter {
+                            m.charge(Counter::SatDecisions, 1);
+                        }
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(l, None);
                     }
@@ -690,7 +725,7 @@ mod tests {
     use super::*;
 
     fn lit(v: i32) -> Lit {
-        let var = BVar((v.unsigned_abs() - 1) as u32);
+        let var = BVar(v.unsigned_abs() - 1);
         Lit::new(var, v < 0)
     }
 

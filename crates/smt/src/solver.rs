@@ -10,7 +10,10 @@
 //! proved" plus a best-effort counterexample.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use veris_obs::{Counter, QuantProfile, ResourceMeter};
 
 use crate::euf::{Euf, NodeId};
 use crate::lia::{LVar, Lia, LiaOutcome};
@@ -19,6 +22,10 @@ use crate::quant::{
 };
 use crate::sat::{FinalCheck, LBool, Lit, SatLimits, SatResult, SatSolver};
 use crate::term::{Quant, Sort, SortId, TermId, TermKind, TermStore};
+
+/// An instantiation staged by an e-matching round: (quantifier proxy
+/// literal, quantifier term, variable binding, instantiated body).
+type PendingInstance = (Lit, TermId, Vec<(u32, TermId)>, TermId);
 
 /// Solver configuration.
 #[derive(Clone, Debug)]
@@ -134,6 +141,12 @@ pub struct Solver {
     pub asserted: Vec<TermId>,
     has_bv: bool,
     pub stats: Stats,
+    /// Optional resource meter shared with the SAT core and theories; when
+    /// its budget trips, `check` returns `Unknown` with the canonical
+    /// `resource limit exceeded` message.
+    meter: Option<Arc<ResourceMeter>>,
+    /// Per-quantifier instantiation profile, accumulated across rounds.
+    profile: QuantProfile,
 }
 
 impl Solver {
@@ -165,7 +178,25 @@ impl Solver {
             asserted: Vec::new(),
             has_bv: false,
             stats: Stats::default(),
+            meter: None,
+            profile: QuantProfile::new(),
         }
+    }
+
+    /// Attach a resource meter. The SAT core, congruence closure, simplex,
+    /// and the quantifier engine all charge it; call before `check`.
+    pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
+        self.sat.set_meter(meter.clone());
+        self.meter = Some(meter);
+    }
+
+    pub fn meter(&self) -> Option<&Arc<ResourceMeter>> {
+        self.meter.as_ref()
+    }
+
+    /// Quantifier-instantiation profile accumulated so far.
+    pub fn profile(&self) -> &QuantProfile {
+        &self.profile
     }
 
     pub fn with_defaults() -> Solver {
@@ -494,10 +525,8 @@ impl Solver {
             | TermKind::BvConst { .. } => {
                 self.has_bv = true;
             }
-            TermKind::IntDiv(a, b) | TermKind::IntMod(a, b) => {
-                if self.divmod_done.insert(t) {
-                    self.queue_divmod_axiom(a, b);
-                }
+            TermKind::IntDiv(a, b) | TermKind::IntMod(a, b) if self.divmod_done.insert(t) => {
+                self.queue_divmod_axiom(a, b);
             }
             _ => {}
         }
@@ -579,14 +608,14 @@ impl Solver {
             }
         }
         // Tester implies constructor-of-selectors (gives injectivity).
-        for c in 0..nctors {
+        for (c, &test) in tests.iter().enumerate().take(nctors) {
             let nfields = self.store.datatype(dt).constructors[c].fields.len();
             let sels: Vec<TermId> = (0..nfields)
                 .map(|f| self.store.mk_dt_sel(dt, c as u32, f as u32, t))
                 .collect();
             let ctor = self.store.mk_dt_ctor(dt, c as u32, sels);
             let eq = self.store.mk_eq(t, ctor);
-            let ax = self.store.mk_implies(tests[c], eq);
+            let ax = self.store.mk_implies(test, eq);
             self.queue.push((ax, true));
         }
     }
@@ -611,6 +640,11 @@ impl Solver {
                     return SmtResult::Unknown("timeout".into());
                 }
             }
+            if let Some(m) = &self.meter {
+                if m.check("solver") {
+                    return SmtResult::Unknown(m.exhaustion_message());
+                }
+            }
             self.stats.quant_rounds += 1;
             let mut last_model: Option<HashMap<TermId, i128>> = None;
             let mut theory_unknown = false;
@@ -621,11 +655,19 @@ impl Solver {
                 let axiom_lit = self.lit_true;
                 let stats = &mut self.stats;
                 let sat = &mut self.sat;
+                let meter = self.meter.clone();
                 let mut limits = self.config.sat_limits;
                 limits.deadline = deadline;
                 sat.solve_with(limits, |satref| {
                     stats.final_checks += 1;
-                    match theory_final_check(store, atoms, satref, lia_budget, axiom_lit) {
+                    match theory_final_check(
+                        store,
+                        atoms,
+                        satref,
+                        lia_budget,
+                        axiom_lit,
+                        meter.as_ref(),
+                    ) {
                         TheoryVerdict::Consistent(model) => {
                             last_model = Some(model);
                             FinalCheck::Consistent
@@ -643,12 +685,31 @@ impl Solver {
             self.stats.propagations = self.sat.propagations;
             match outcome {
                 SatResult::Unsat => return SmtResult::Unsat,
-                SatResult::Unknown => return SmtResult::Unknown("sat budget exceeded".into()),
+                SatResult::Unknown => {
+                    if let Some(m) = &self.meter {
+                        if m.exhausted() {
+                            return SmtResult::Unknown(m.exhaustion_message());
+                        }
+                    }
+                    return SmtResult::Unknown("sat budget exceeded".into());
+                }
                 SatResult::Sat => {
                     if theory_unknown {
+                        if let Some(m) = &self.meter {
+                            if m.exhausted() {
+                                return SmtResult::Unknown(m.exhaustion_message());
+                            }
+                        }
                         return SmtResult::Unknown("theory budget exceeded".into());
                     }
                     let added = self.instantiate_round() + self.combination_round();
+                    // Exhaustion during instantiation can cut a round short;
+                    // a zero count then must not be read as saturation.
+                    if let Some(m) = &self.meter {
+                        if m.check("ematch") {
+                            return SmtResult::Unknown(m.exhaustion_message());
+                        }
+                    }
                     if added == 0 {
                         let mut model = Model::default();
                         for &(t, l) in &self.atoms {
@@ -677,6 +738,9 @@ impl Solver {
 
     /// One instantiation round; returns the number of new instances.
     fn instantiate_round(&mut self) -> usize {
+        if let Some(m) = &self.meter {
+            m.charge(Counter::EmatchRounds, 1);
+        }
         // Equivalence classes from equality atoms true in the current model:
         // matching happens modulo these (poor man's e-graph).
         let mut classes = ClassIndex::new();
@@ -687,7 +751,7 @@ impl Solver {
                 }
             }
         }
-        let mut new_instances: Vec<(Lit, TermId, Vec<(u32, TermId)>, TermId)> = Vec::new();
+        let mut new_instances: Vec<PendingInstance> = Vec::new();
         let quants = self.quants.clone();
         for (qterm, proxy) in quants {
             if self.sat.value(proxy) != LBool::True {
@@ -708,6 +772,8 @@ impl Solver {
                     self.config.max_instances_per_round,
                 )
             };
+            let qname = self.store.sym_name(q.qid).to_owned();
+            self.profile.record(&qname, 0, bindings.len() as u64, 0);
             for b in bindings {
                 // Generation cap: bindings built from deeply derived terms
                 // do not instantiate further (bounds recursive unfolding).
@@ -745,13 +811,20 @@ impl Solver {
                 }
             }
         }
-        for (proxy, _q, b, inst) in new_instances {
+        for (proxy, q, b, inst) in new_instances {
             self.stats.instantiations += 1;
+            if let Some(m) = &self.meter {
+                m.charge(Counter::Instantiations, 1);
+            }
             let bgen = b
                 .iter()
                 .map(|&(_, t)| self.term_gen.get(&t).copied().unwrap_or(0))
                 .max()
                 .unwrap_or(0);
+            if let TermKind::Quantifier(qd) = self.store.kind(q) {
+                let qname = self.store.sym_name(qd.qid).to_owned();
+                self.profile.record(&qname, 1, 0, bgen + 1);
+            }
             let before = self.store.num_terms();
             let l = self.encode_formula(inst, false);
             self.drain_queue_no_recurse();
@@ -773,7 +846,11 @@ impl Solver {
     fn combination_round(&mut self) -> usize {
         let int = self.store.int_sort();
         let mut new_pairs: Vec<(TermId, TermId)> = Vec::new();
-        for terms in self.ground_index.values() {
+        // Deterministic traversal: hash order must not decide which pairs
+        // land under the fan-out caps (rlimit reproducibility).
+        let mut by_head: Vec<(&PatternHead, &Vec<TermId>)> = self.ground_index.iter().collect();
+        by_head.sort_unstable_by_key(|&(h, _)| *h);
+        for (_, terms) in by_head {
             // Cap the per-symbol pair fan-out.
             let cap = 16.min(terms.len());
             for i in 0..cap {
@@ -826,11 +903,7 @@ impl Solver {
     fn epr_bindings(&mut self, q: &Quant) -> Vec<Vec<(u32, TermId)>> {
         // Ensure every sort has a witness.
         for &(_, sort) in &q.vars {
-            if self
-                .ground_by_sort
-                .get(&sort)
-                .map_or(true, |v| v.is_empty())
-            {
+            if self.ground_by_sort.get(&sort).is_none_or(|v| v.is_empty()) {
                 let w = self.store.mk_fresh_var("witness", sort);
                 self.register_term(w, true);
             }
@@ -854,9 +927,10 @@ impl Solver {
         bindings
     }
 
-    /// Total size in bytes of the asserted query rendered as SMT-LIB.
+    /// Total size in bytes of the asserted query rendered as SMT-LIB,
+    /// counted through a streaming sink (the script itself is never built).
     pub fn query_size_bytes(&self) -> usize {
-        crate::printer::print_smtlib(&self.store, &self.asserted).len()
+        crate::printer::query_size_bytes(&self.store, &self.asserted)
     }
 }
 
@@ -889,8 +963,17 @@ struct TheoryCtx<'a> {
 }
 
 impl<'a> TheoryCtx<'a> {
-    fn new(store: &'a TermStore, axiom_lit: Lit) -> TheoryCtx<'a> {
+    fn new(
+        store: &'a TermStore,
+        axiom_lit: Lit,
+        meter: Option<&Arc<ResourceMeter>>,
+    ) -> TheoryCtx<'a> {
         let mut euf = Euf::new();
+        let mut lia = Lia::new();
+        if let Some(m) = meter {
+            euf.set_meter(m.clone());
+            lia.set_meter(m.clone());
+        }
         let true_node = euf.add_node(tag_leaf(u32::MAX), vec![]);
         let false_node = euf.add_node(tag_leaf(u32::MAX - 1), vec![]);
         euf.assert_neq(true_node, false_node, axiom_lit);
@@ -898,7 +981,7 @@ impl<'a> TheoryCtx<'a> {
             store,
             euf,
             node_of: HashMap::new(),
-            lia: Lia::new(),
+            lia,
             lvar_of: HashMap::new(),
             lvars: Vec::new(),
             lin_sigs: HashMap::new(),
@@ -1028,8 +1111,9 @@ fn theory_final_check(
     sat: &SatSolver,
     lia_budget: usize,
     axiom_lit: Lit,
+    meter: Option<&Arc<ResourceMeter>>,
 ) -> TheoryVerdict {
-    let mut ctx = TheoryCtx::new(store, axiom_lit);
+    let mut ctx = TheoryCtx::new(store, axiom_lit, meter);
     let int_sort = store.int_sort();
     let bool_sort = store.bool_sort();
     // Register every non-boolean subterm of every atom in EUF so congruence
@@ -1123,13 +1207,21 @@ fn theory_final_check(
             .collect();
         return TheoryVerdict::Conflict(clause);
     }
-    // Propagate EUF-implied equalities over int terms into LIA.
-    let int_terms: Vec<TermId> = ctx
+    if let Some(m) = meter {
+        if m.check("euf") {
+            return TheoryVerdict::Unknown;
+        }
+    }
+    // Propagate EUF-implied equalities over int terms into LIA. Sorted so
+    // class representatives and LIA assertion order are independent of hash
+    // iteration order (rlimit reproducibility).
+    let mut int_terms: Vec<TermId> = ctx
         .node_of
         .keys()
         .copied()
         .filter(|&t| store.sort_of(t) == int_sort)
         .collect();
+    int_terms.sort_unstable();
     let mut class_reps: HashMap<NodeId, TermId> = HashMap::new();
     for t in int_terms {
         let n = ctx.node_of[&t];

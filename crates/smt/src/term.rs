@@ -907,11 +907,8 @@ impl TermStore {
 
     pub fn mk_bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
         self.mk_bv_bin(a, b, TermKind::BvUdiv, |x, y, w| {
-            if y == 0 {
-                mask_to_width(u64::MAX, w)
-            } else {
-                x / y
-            }
+            // SMT-LIB bvudiv: division by zero yields all-ones.
+            x.checked_div(y).unwrap_or(mask_to_width(u64::MAX, w))
         })
     }
 

@@ -407,7 +407,7 @@ fn mod_bounds() {
 fn ite_lifting() {
     // (if p then 1 else 2) = 2 && p  =>  unsat
     let mut s = solver();
-    let int = s.store.int_sort();
+    let _int = s.store.int_sort();
     let p = s.store.mk_var("p", s.store.bool_sort());
     let one = s.store.mk_int(1);
     let two = s.store.mk_int(2);
@@ -421,8 +421,10 @@ fn ite_lifting() {
 #[test]
 fn epr_mode_total_order() {
     // EPR: total order axioms + a < b < c, then c <= a  =>  unsat.
-    let mut cfg = Config::default();
-    cfg.epr_mode = true;
+    let cfg = Config {
+        epr_mode: true,
+        ..Config::default()
+    };
     let mut s = Solver::new(cfg);
     let elem = s.store.uninterp_sort("Elem");
     let lt = s
@@ -470,8 +472,10 @@ fn epr_mode_total_order() {
 #[test]
 fn epr_mode_sat_is_decisive() {
     // In EPR mode a saturated sat answer is not spurious.
-    let mut cfg = Config::default();
-    cfg.epr_mode = true;
+    let cfg = Config {
+        epr_mode: true,
+        ..Config::default()
+    };
     let mut s = Solver::new(cfg);
     let elem = s.store.uninterp_sort("E2");
     let p = s.store.declare_fun("p", vec![elem], s.store.bool_sort());

@@ -22,4 +22,6 @@ pub use verify::{
     time_to_error, verify_function, verify_krate, FnReport, KrateReport, ProverOutcome,
     ProverRegistry, Status, VcConfig,
 };
+// Observability types surfaced in reports, re-exported for downstream use.
+pub use veris_obs::{MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, TimeTree};
 pub use wp::{vc_for_function, SideObligation, WpResult};

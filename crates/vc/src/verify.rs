@@ -1,11 +1,20 @@
 //! The verification driver: assemble a query (context + negated VC), run
 //! the SMT solver, and report per-function results with the metrics the
 //! paper's evaluation tracks (wall-clock time, query bytes, instantiations).
+//!
+//! Observability: each function gets its own [`ResourceMeter`] (so verdicts
+//! are independent of thread count), phase timing spans (vir lowering,
+//! encoding, solver init, solve), and a quantifier-instantiation profile.
+//! Setting [`VcConfig::rlimit`] bounds solver work by deterministic
+//! counters instead of wall-clock; runaway queries come back as
+//! `Status::Unknown("resource limit exceeded (...)")` at the same point on
+//! every machine.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use veris_obs::{time, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, TimeTree};
 use veris_smt::quant::TriggerPolicy;
 use veris_smt::solver::{Config as SmtConfig, SmtResult, Solver};
 use veris_smt::term::TermId;
@@ -27,6 +36,17 @@ pub enum ProverOutcome {
 /// idioms crate to avoid a dependency cycle.
 pub trait ProverRegistry: Send + Sync {
     fn prove(&self, krate: &Krate, ob: &SideObligation) -> ProverOutcome;
+
+    /// Like [`ProverRegistry::prove`], with a resource meter the prover may
+    /// charge (bit-blast clauses, SAT work). The default ignores the meter.
+    fn prove_metered(
+        &self,
+        krate: &Krate,
+        ob: &SideObligation,
+        _meter: &Arc<ResourceMeter>,
+    ) -> ProverOutcome {
+        self.prove(krate, ob)
+    }
 }
 
 /// Verification configuration.
@@ -42,6 +62,10 @@ pub struct VcConfig {
     pub epr_mode: bool,
     /// Override the solver's instantiation-generation cap (fuel).
     pub smt_max_generation: Option<u32>,
+    /// Per-function resource budget in meter units (the `--rlimit` idiom).
+    /// When set, the wall-clock timeout is disabled so the verdict depends
+    /// only on deterministic counters.
+    pub rlimit: Option<u64>,
 }
 
 impl Default for VcConfig {
@@ -53,6 +77,7 @@ impl Default for VcConfig {
             max_quant_rounds: None,
             epr_mode: false,
             smt_max_generation: None,
+            rlimit: None,
         }
     }
 }
@@ -65,14 +90,28 @@ impl VcConfig {
         }
     }
 
+    /// Builder: set the deterministic per-function resource budget.
+    pub fn with_rlimit(mut self, rlimit: u64) -> VcConfig {
+        self.rlimit = Some(rlimit);
+        self
+    }
+
     fn smt_config(&self) -> SmtConfig {
-        let mut c = SmtConfig::default();
-        c.trigger_policy = if self.style.broad_triggers() {
-            TriggerPolicy::Broad
-        } else {
-            TriggerPolicy::Minimal
+        let mut c = SmtConfig {
+            trigger_policy: if self.style.broad_triggers() {
+                TriggerPolicy::Broad
+            } else {
+                TriggerPolicy::Minimal
+            },
+            // rlimit replaces the wall-clock deadline: the budget is checked
+            // at deterministic program points, so exhaustion is reproducible.
+            timeout: if self.rlimit.is_some() {
+                None
+            } else {
+                Some(self.timeout)
+            },
+            ..SmtConfig::default()
         };
-        c.timeout = Some(self.timeout);
         if let Some(r) = self.max_quant_rounds {
             c.max_quant_rounds = r;
         }
@@ -112,6 +151,34 @@ pub struct FnReport {
     pub conflicts: u64,
     /// 1 (the main VC) + custom-prover side obligations.
     pub obligations: usize,
+    /// Resource-meter counters for this function's queries.
+    pub meter: MeterSnapshot,
+    /// Phase timing breakdown (vir / encode / smt-init / smt-run).
+    pub phases: PhaseTimes,
+    /// Per-quantifier instantiation profile.
+    pub profile: QuantProfile,
+}
+
+impl FnReport {
+    /// Total meter units spent (the `rlimit` currency).
+    pub fn rlimit_spent(&self) -> u64 {
+        self.meter.total()
+    }
+
+    fn empty(name: &str, status: Status, time: Duration) -> FnReport {
+        FnReport {
+            name: name.to_owned(),
+            status,
+            time,
+            query_bytes: 0,
+            instantiations: 0,
+            conflicts: 0,
+            obligations: 0,
+            meter: MeterSnapshot::default(),
+            phases: PhaseTimes::default(),
+            profile: QuantProfile::new(),
+        }
+    }
 }
 
 /// Whole-crate report.
@@ -140,6 +207,34 @@ impl KrateReport {
             .filter(|f| !f.status.is_verified())
             .collect()
     }
+
+    /// Element-wise sum of every function's meter counters.
+    pub fn total_meter(&self) -> MeterSnapshot {
+        self.functions
+            .iter()
+            .fold(MeterSnapshot::default(), |acc, f| acc.add(&f.meter))
+    }
+
+    /// Sum of the per-function phase breakdowns.
+    pub fn total_phases(&self) -> PhaseTimes {
+        self.functions
+            .iter()
+            .fold(PhaseTimes::default(), |acc, f| acc.add(&f.phases))
+    }
+
+    /// Quantifier profile merged across all functions.
+    pub fn merged_profile(&self) -> QuantProfile {
+        let mut p = QuantProfile::new();
+        for f in &self.functions {
+            p.merge(&f.profile);
+        }
+        p
+    }
+
+    /// Krate-level `--time`-style tree built from the aggregated phases.
+    pub fn time_tree(&self) -> TimeTree {
+        self.total_phases().to_tree()
+    }
 }
 
 /// Verify one function by name.
@@ -150,18 +245,18 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
         .unwrap_or_else(|| panic!("unknown function `{fname}`"));
     // Nothing to check for trusted or abstract functions.
     if f.trusted || matches!(f.body, FnBody::Abstract) {
-        return FnReport {
-            name: fname.to_owned(),
-            status: Status::Verified,
-            time: t0.elapsed(),
-            query_bytes: 0,
-            instantiations: 0,
-            conflicts: 0,
-            obligations: 0,
-        };
+        return FnReport::empty(fname, Status::Verified, t0.elapsed());
     }
-    let wp = vc_for_function(krate, f);
-    let mut solver = Solver::new(cfg.smt_config());
+    // One meter per function: charges are independent of how many sibling
+    // functions run concurrently, so rlimit verdicts survive `threads = N`.
+    let meter = Arc::new(ResourceMeter::with_limit(cfg.rlimit));
+    let mut phases = PhaseTimes::default();
+    let wp = time(&mut phases.vir, || vc_for_function(krate, f));
+    let mut solver = time(&mut phases.smt_init, || {
+        let mut s = Solver::new(cfg.smt_config());
+        s.set_meter(meter.clone());
+        s
+    });
     let mut ctx = EncCtx::new(krate);
     let empty = HashMap::new();
     // Context: module axioms. Verus prunes to this module + imports; the
@@ -175,32 +270,34 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
     } else {
         krate.modules.iter().collect()
     };
-    for m in &visible {
-        for ax in &m.axioms {
-            let t = ctx.encode_expr(&mut solver, ax, &empty);
-            solver.assert(t);
+    time(&mut phases.encode, || {
+        for m in &visible {
+            for ax in &m.axioms {
+                let t = ctx.encode_expr(&mut solver, ax, &empty);
+                solver.assert(t);
+            }
         }
-    }
-    // Non-pruning styles additionally pull in every spec function (and
-    // therefore every collection-theory instance) in the crate.
-    if !cfg.style.prunes_context() {
-        let names: Vec<String> = krate
-            .all_functions()
-            .filter(|(_, f)| f.mode == Mode::Spec && !matches!(f.body, FnBody::Abstract))
-            .map(|(_, f)| f.name.clone())
-            .collect();
-        for n in names {
-            ctx.ensure_spec_fn(&mut solver, &n);
+        // Non-pruning styles additionally pull in every spec function (and
+        // therefore every collection-theory instance) in the crate.
+        if !cfg.style.prunes_context() {
+            let names: Vec<String> = krate
+                .all_functions()
+                .filter(|(_, f)| f.mode == Mode::Spec && !matches!(f.body, FnBody::Abstract))
+                .map(|(_, f)| f.name.clone())
+                .collect();
+            for n in names {
+                ctx.ensure_spec_fn(&mut solver, &n);
+            }
         }
-    }
-    // Encode and negate the VC.
-    let vc_term = ctx.encode_expr(&mut solver, &wp.vc, &empty);
-    ctx.flush_axioms(&mut solver);
-    let goal = wrap_goal(&mut solver, vc_term, cfg.style);
-    let neg = solver.store.mk_not(goal);
-    solver.assert(neg);
-    inject_style_noise(&mut solver, cfg.style, &wp.assigns);
-    let result = solver.check();
+        // Encode and negate the VC.
+        let vc_term = ctx.encode_expr(&mut solver, &wp.vc, &empty);
+        ctx.flush_axioms(&mut solver);
+        let goal = wrap_goal(&mut solver, vc_term, cfg.style);
+        let neg = solver.store.mk_not(goal);
+        solver.assert(neg);
+        inject_style_noise(&mut solver, cfg.style, &wp.assigns);
+    });
+    let result = time(&mut phases.smt_run, || solver.check());
     let mut status = match result {
         SmtResult::Unsat => Status::Verified,
         SmtResult::Sat(model) => Status::Failed(render_counterexample(&solver, &model)),
@@ -220,7 +317,7 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
             }
             Some(reg) => {
                 for ob in &wp.side_obligations {
-                    match reg.prove(krate, ob) {
+                    match reg.prove_metered(krate, ob, &meter) {
                         ProverOutcome::Proved => {}
                         ProverOutcome::Failed(msg) => {
                             status = Status::Failed(format!("{}: {msg}", ob.label));
@@ -244,6 +341,9 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
         instantiations: solver.stats.instantiations,
         conflicts: solver.stats.conflicts,
         obligations,
+        meter: meter.snapshot(),
+        phases,
+        profile: solver.profile().clone(),
     }
 }
 
@@ -374,7 +474,11 @@ fn inject_style_noise(solver: &mut Solver, style: Style, assigns: &[AssignEvent]
             // route *reads* through the heap as well — roughly 4 reads per
             // write in the list workloads (6 with the monadic wrapping) —
             // so the chain is proportionally longer than the write count.
-            let steps = if style == Style::FStarLike { n * 6 } else { n * 4 };
+            let steps = if style == Style::FStarLike {
+                n * 6
+            } else {
+                n * 4
+            };
             let loc = solver.store.uninterp_sort("HeapLoc");
             let heap = solver.store.uninterp_sort("Heap");
             let int = solver.store.int_sort();

@@ -1,0 +1,167 @@
+//! rlimit governance: budgets are deterministic (same krate + rlimit →
+//! same verdicts and same meter counters, independent of wall clock and
+//! thread count) and degrade gracefully on explosive instantiation.
+
+use std::time::{Duration, Instant};
+
+use veris_vc::{verify_function, verify_krate, Status, VcConfig};
+use veris_vir::expr::{call, forall_trig, int, var, Expr, ExprExt};
+use veris_vir::module::{Function, Krate, Mode, Module};
+use veris_vir::stmt::Stmt;
+use veris_vir::ty::Ty;
+
+fn f_of(e: Expr) -> Expr {
+    call("f", vec![e], Ty::Int)
+}
+
+fn g_of(e: Expr) -> Expr {
+    call("g", vec![e], Ty::Int)
+}
+
+fn uninterp(name: &str) -> Function {
+    // No body: stays FnBody::Abstract, i.e. an uninterpreted spec function.
+    Function::new(name, Mode::Spec)
+        .param("x", Ty::Int)
+        .returns("r", Ty::Int)
+}
+
+/// A mixed workload: axiom-backed quantifier proofs, a chain needing two
+/// instantiation generations, arithmetic, and one goal that cannot be
+/// proved (so the solver spends its full round budget on it).
+fn workload() -> Krate {
+    let x = var("x", Ty::Int);
+    let a = var("a", Ty::Int);
+    let ax_nonneg = forall_trig(
+        vec![("x", Ty::Int)],
+        vec![vec![f_of(x.clone())]],
+        f_of(x.clone()).ge(int(0)),
+        "f_nonneg",
+    );
+    let ax_grow = forall_trig(
+        vec![("x", Ty::Int)],
+        vec![vec![f_of(x.clone())]],
+        f_of(g_of(x.clone())).gt(f_of(x.clone())),
+        "f_grows",
+    );
+    let use_nonneg = Function::new("use_nonneg", Mode::Proof)
+        .param("a", Ty::Int)
+        .stmts(vec![Stmt::assert(f_of(a.clone()).ge(int(0)))]);
+    let use_grow = Function::new("use_grow", Mode::Proof)
+        .param("a", Ty::Int)
+        .stmts(vec![Stmt::assert(
+            f_of(g_of(a.clone())).gt(f_of(a.clone())),
+        )]);
+    let chain = Function::new("chain", Mode::Proof)
+        .param("a", Ty::Int)
+        .stmts(vec![Stmt::assert(
+            f_of(g_of(g_of(a.clone()))).gt(f_of(a.clone())),
+        )]);
+    let stuck = Function::new("stuck", Mode::Proof)
+        .param("a", Ty::Int)
+        .stmts(vec![Stmt::assert(f_of(a.clone()).le(int(100)))]);
+    Krate::new().module(
+        Module::new("m")
+            .func(uninterp("f"))
+            .func(uninterp("g"))
+            .func(use_nonneg)
+            .func(use_grow)
+            .func(chain)
+            .func(stuck)
+            .axiom(ax_nonneg)
+            .axiom(ax_grow),
+    )
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+    #[test]
+    fn prop_rlimit_verdicts_and_meters_deterministic(rlimit in 50u64..4000) {
+        let k = workload();
+        let cfg = VcConfig::default().with_rlimit(rlimit);
+        let r1 = verify_krate(&k, &cfg, 1);
+        let r2 = verify_krate(&k, &cfg, 1);
+        let r4 = verify_krate(&k, &cfg, 4);
+        proptest::prop_assert_eq!(r1.functions.len(), r2.functions.len());
+        proptest::prop_assert_eq!(r1.functions.len(), r4.functions.len());
+        for ((a, b), c) in r1.functions.iter().zip(&r2.functions).zip(&r4.functions) {
+            proptest::prop_assert_eq!(&a.name, &b.name);
+            proptest::prop_assert_eq!(&a.name, &c.name);
+            // Same verdict and same deterministic spend on repeat runs...
+            proptest::prop_assert_eq!(&a.status, &b.status);
+            proptest::prop_assert_eq!(a.meter, b.meter);
+            // ...and regardless of how many worker threads ran the krate.
+            proptest::prop_assert_eq!(&a.status, &c.status);
+            proptest::prop_assert_eq!(a.meter, c.meter);
+        }
+    }
+}
+
+/// The rlimit is a budget, not a hint: a run that exhausts it reports
+/// Unknown with the spend, and a run with ample budget verifies.
+#[test]
+fn rlimit_brackets_the_workload() {
+    let k = workload();
+    let tight = verify_function(&k, "use_nonneg", &VcConfig::default().with_rlimit(1));
+    match &tight.status {
+        Status::Unknown(msg) => {
+            assert!(msg.starts_with("resource limit exceeded"), "{msg}");
+            assert!(msg.contains("rlimit=1"), "{msg}");
+        }
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+    let ample = verify_function(
+        &k,
+        "use_nonneg",
+        &VcConfig::default().with_rlimit(1_000_000),
+    );
+    assert!(ample.status.is_verified(), "{:?}", ample.status);
+}
+
+/// A classic matching loop — the trigger `f(x)` produces `f(g(x))`, which
+/// re-fires the trigger one generation deeper — must exhaust the rlimit and
+/// return promptly even with the round and generation fuses opened wide,
+/// and the profiler must name the looping quantifier.
+#[test]
+fn matching_loop_exhausts_rlimit_without_hanging() {
+    let x = var("x", Ty::Int);
+    let a = var("a", Ty::Int);
+    let loop_ax = forall_trig(
+        vec![("x", Ty::Int)],
+        vec![vec![f_of(x.clone())]],
+        f_of(g_of(x.clone())).gt(f_of(x.clone())),
+        "runaway_growth",
+    );
+    let runaway = Function::new("runaway", Mode::Proof)
+        .param("a", Ty::Int)
+        .stmts(vec![Stmt::assert(f_of(a.clone()).le(int(100)))]);
+    let k = Krate::new().module(
+        Module::new("m")
+            .func(uninterp("f"))
+            .func(uninterp("g"))
+            .func(runaway)
+            .axiom(loop_ax),
+    );
+    let mut cfg = VcConfig::default().with_rlimit(20_000);
+    // Open the independent fuses so only the rlimit can stop the loop.
+    cfg.max_quant_rounds = Some(100_000);
+    cfg.smt_max_generation = Some(1_000_000);
+    let t0 = Instant::now();
+    let r = verify_function(&k, "runaway", &cfg);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "exhaustion took {elapsed:?}"
+    );
+    match &r.status {
+        Status::Unknown(msg) => {
+            assert!(msg.starts_with("resource limit exceeded"), "{msg}");
+            assert!(msg.contains("rlimit=20000"), "{msg}");
+        }
+        other => panic!("expected resource exhaustion, got {other:?}"),
+    }
+    assert!(r.meter.total() > 20_000, "meter: {:?}", r.meter);
+    let top = r.profile.top_k(1);
+    assert!(!top.is_empty(), "profiler recorded nothing");
+    assert_eq!(top[0].0, "runaway_growth", "top quantifier: {top:?}");
+    assert!(top[0].1.instantiations > 0);
+}

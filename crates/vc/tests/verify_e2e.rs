@@ -416,7 +416,7 @@ fn wrong_variant_access_fails() {
         vec![("None", vec![]), ("Some", vec![("v", Ty::Int)])],
     );
     let o = var("o", Ty::datatype("OptJ"));
-    let r = var("r", Ty::Int);
+    let _r = var("r", Ty::Int);
     let f = Function::new("unwrap_unchecked", Mode::Exec)
         .param("o", Ty::datatype("OptJ"))
         .returns("r", Ty::Int)
@@ -534,14 +534,15 @@ fn exists_witness() {
     ))]);
     let k = Krate::new().module(Module::new("m").func(f));
     // Proving an existential requires the solver to find a witness — our
-    // e-matching cannot, so this may be Unknown, but must not be Failed
-    // *verified*: accept Verified or Unknown.
+    // e-matching cannot. The model backing any Failed here is spurious
+    // (quantifiers unsaturated), so the report must say "possible", never a
+    // definite refutation. Pins current behaviour: a future witness-finding
+    // improvement should flip this to Verified.
     let r = verify_function(&k, "has_big", &cfg());
-    assert!(
-        !matches!(r.status, Status::Failed(_)) || true,
-        "sanity: {:?}",
-        r.status
-    );
+    match r.status {
+        Status::Verified | Status::Unknown(_) => {}
+        Status::Failed(msg) => assert!(msg.contains("possible"), "{msg}"),
+    }
 }
 
 #[test]

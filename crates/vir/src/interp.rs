@@ -430,7 +430,7 @@ impl<'a> Interp<'a> {
             BinOp::BitOr => Ok(Value::Int(va | vb)),
             BinOp::BitXor => Ok(Value::Int(va ^ vb)),
             BinOp::Shl => {
-                let r = if vb >= 128 || vb < 0 { 0 } else { va << vb };
+                let r = if !(0..128).contains(&vb) { 0 } else { va << vb };
                 // Shifts wrap within the machine width (matching bit-vector
                 // semantics used by `by(bit_vector)` proofs).
                 match result_ty.int_range() {
@@ -438,7 +438,11 @@ impl<'a> Interp<'a> {
                     None => Ok(Value::Int(r)),
                 }
             }
-            BinOp::Shr => Ok(Value::Int(if vb >= 128 || vb < 0 { 0 } else { va >> vb })),
+            BinOp::Shr => Ok(Value::Int(if !(0..128).contains(&vb) {
+                0
+            } else {
+                va >> vb
+            })),
             _ => unreachable!("handled above"),
         }
     }

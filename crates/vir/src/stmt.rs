@@ -125,22 +125,16 @@ impl Stmt {
         fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
             for s in stmts {
                 match s {
-                    Stmt::Assign { name, .. } => {
-                        if !out.contains(name) {
-                            out.push(name.clone());
-                        }
+                    Stmt::Assign { name, .. } if !out.contains(name) => {
+                        out.push(name.clone());
                     }
-                    Stmt::Decl { name, .. } => {
-                        if !out.contains(name) {
-                            out.push(name.clone());
-                        }
+                    Stmt::Decl { name, .. } if !out.contains(name) => {
+                        out.push(name.clone());
                     }
                     Stmt::Call {
                         dest: Some((d, _)), ..
-                    } => {
-                        if !out.contains(d) {
-                            out.push(d.clone());
-                        }
+                    } if !out.contains(d) => {
+                        out.push(d.clone());
                     }
                     Stmt::If { then_, else_, .. } => {
                         walk(then_, out);

@@ -52,10 +52,8 @@ impl<'a> Checker<'a> {
                     self.err(format!("unbound variable `{n}`"));
                 }
             }
-            ExprX::Old(n, _) => {
-                if !scope.contains_key(n) {
-                    self.err(format!("old() of unknown parameter `{n}`"));
-                }
+            ExprX::Old(n, _) if !scope.contains_key(n) => {
+                self.err(format!("old() of unknown parameter `{n}`"));
             }
             ExprX::Call(name, args, ret) => {
                 match self.krate.find_function(name) {

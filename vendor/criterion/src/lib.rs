@@ -1,0 +1,124 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion it uses: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size` / `finish`), `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! best-of-samples wall-clock measurement printed to stdout — enough to run
+//! the bench binaries and eyeball relative numbers, with no statistics,
+//! plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    best: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then `sample_size` timed runs; keep the minimum.
+        black_box(f());
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            best = best.min(t.elapsed());
+        }
+        self.best = best;
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        best: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("{name:<40} {:>12.3?} (best of {sample_size})", b.best);
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identity function that defeats constant-folding of benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_smoke() {
+        let mut c = super::Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        c.bench_function("mul", |b| b.iter(|| 2u64 * 3));
+    }
+}
