@@ -1,0 +1,60 @@
+//! Deterministic verification-cost baseline over the Fig 9 case studies.
+//!
+//! ```text
+//! cargo run --release -p veris-bench --bin baseline -- --write
+//! cargo run --release -p veris-bench --bin baseline -- --check
+//! ```
+//!
+//! `--write` regenerates `BENCH_baseline.json` at the repo root from the
+//! deterministic resource-meter totals (fixed per-function rlimit budget,
+//! 1 thread — no wall-clock quantities). `--check` recomputes the totals
+//! and exits 1 if any system's `meter_units` drifts more than 10% from the
+//! committed file; CI runs it as a solver-cost regression tripwire.
+
+use veris_bench::baseline;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json")
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "--check".into());
+    if !matches!(mode.as_str(), "--write" | "--check") {
+        eprintln!("usage: baseline [--write|--check]");
+        std::process::exit(2);
+    }
+
+    let rows = baseline::measure();
+    let rendered = baseline::render(&rows);
+    let path = baseline_path();
+
+    if mode == "--write" {
+        std::fs::write(&path, &rendered).expect("write BENCH_baseline.json");
+        println!("wrote {}", path.display());
+        print!("{rendered}");
+        return;
+    }
+
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let failures = baseline::drift_failures(&baseline::parse_meter_units(&committed), &rows);
+    if failures.is_empty() {
+        println!(
+            "baseline check ok: {} systems within {:.0}% of committed meter_units",
+            rows.len(),
+            baseline::DRIFT_TOLERANCE_PCT
+        );
+    } else {
+        eprintln!("baseline drift detected:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(if intentional, regenerate with `baseline --write` and commit)");
+        std::process::exit(1);
+    }
+}

@@ -109,7 +109,8 @@ fn main() {
             })
             .collect();
         println!(
-            "{{\"system\":{:?},\"rlimit\":{},\"time\":{},\"meter\":{},\"quantifiers\":{},\"functions\":[{}]}}",
+            "{{\"schema_version\":{},\"system\":{:?},\"rlimit\":{},\"time\":{},\"meter\":{},\"quantifiers\":{},\"functions\":[{}]}}",
+            veris_bench::explain::SCHEMA_VERSION,
             opts.system,
             opts.rlimit.map_or("null".into(), |n| n.to_string()),
             report.time_tree().to_json(),

@@ -1,0 +1,146 @@
+//! Seeded diagnostics demo krate for the `explain` harness.
+//!
+//! Three small functions exercising every diagnostics path end to end:
+//!
+//! * `demo_pass` — verifies, but carries a deliberately-unused
+//!   precondition (`cap >= 5`), so `explain` reports an unsat core that
+//!   omits it and an `unused-hypothesis` lint that flags it.
+//! * `demo_fail` — the `ensures` overclaims (`r >= x + 2` for a `+ 1`
+//!   body), so `explain` reports a validated ground counterexample with
+//!   VIR-level names and virtual source locations.
+//! * `demo_loop` — a counting loop whose second invariant restates the
+//!   precondition and is never needed, so the invariant-marker provenance
+//!   path produces an unused-invariant lint.
+
+use veris_vir::expr::{int, var, ExprExt};
+use veris_vir::module::{Function, Krate, Mode, Module};
+use veris_vir::stmt::Stmt;
+use veris_vir::ty::Ty;
+
+/// Build the demo krate.
+pub fn krate() -> Krate {
+    let x = var("x", Ty::UInt(64));
+    let cap = var("cap", Ty::UInt(64));
+    let r = var("r", Ty::UInt(64));
+
+    // fn demo_pass(x: u64, cap: u64) -> (r: u64)
+    //   requires x <= 1000          (used by the proof)
+    //   requires cap >= 5           (deliberately unused)
+    //   ensures r <= 1000
+    // { return x; }
+    let demo_pass = Function::new("demo_pass", Mode::Exec)
+        .param("x", Ty::UInt(64))
+        .param("cap", Ty::UInt(64))
+        .returns("r", Ty::UInt(64))
+        .requires(x.le(int(1000)))
+        .requires(cap.ge(int(5)))
+        .ensures(r.le(int(1000)))
+        .stmts(vec![Stmt::ret(x.clone())]);
+
+    // fn demo_fail(x: u64) -> (r: u64)
+    //   requires x <= 100
+    //   ensures r >= x + 2          (wrong: the body adds 1)
+    // { return x + 1; }
+    let demo_fail = Function::new("demo_fail", Mode::Exec)
+        .param("x", Ty::UInt(64))
+        .returns("r", Ty::UInt(64))
+        .requires(x.le(int(100)))
+        .ensures(r.ge(x.add(int(2))))
+        .stmts(vec![Stmt::ret(x.add(int(1)))]);
+
+    // fn demo_loop(n: u64) -> (r: u64)
+    //   requires n <= 1000
+    //   ensures r == n
+    // { let mut i = 0;
+    //   while i < n
+    //     invariant i <= n          (used: gives i == n on exit)
+    //     invariant n <= 1000       (unused: restates the precondition)
+    //     decreases n - i
+    //   { i = i + 1; }
+    //   return i; }
+    let n = var("n", Ty::UInt(64));
+    let i = var("i", Ty::UInt(64));
+    let rl = var("r", Ty::UInt(64));
+    let demo_loop = Function::new("demo_loop", Mode::Exec)
+        .param("n", Ty::UInt(64))
+        .returns("r", Ty::UInt(64))
+        .requires(n.le(int(1000)))
+        .ensures(rl.eq_e(n.clone()))
+        .stmts(vec![
+            Stmt::decl_mut("i", Ty::UInt(64), int(0)),
+            Stmt::While {
+                cond: i.lt(n.clone()),
+                invariants: vec![i.le(n.clone()), n.le(int(1000))],
+                decreases: Some(n.sub(i.clone())),
+                body: vec![Stmt::assign("i", i.add(int(1)))],
+            },
+            Stmt::ret(i.clone()),
+        ]);
+
+    Krate::new().module(
+        Module::new("diagdemo")
+            .func(demo_pass)
+            .func(demo_fail)
+            .func(demo_loop),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vc::{verify_function, Status, VcConfig};
+
+    #[test]
+    fn demo_pass_verifies_and_lints_unused_requires() {
+        let k = krate();
+        let r = verify_function(&k, "demo_pass", &VcConfig::default());
+        assert_eq!(r.status, Status::Verified);
+        let lint = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unused-hypothesis")
+            .expect("unused-hypothesis lint present");
+        assert!(
+            lint.items.iter().any(|it| it.label.contains("cap")),
+            "cap >= 5 flagged: {lint:?}"
+        );
+    }
+
+    #[test]
+    fn demo_fail_yields_validated_counterexample() {
+        let k = krate();
+        let r = verify_function(&k, "demo_fail", &VcConfig::default());
+        assert!(matches!(r.status, Status::Failed(_)), "got {:?}", r.status);
+        let ce = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "counterexample")
+            .expect("counterexample diagnostic present");
+        let xb = ce
+            .items
+            .iter()
+            .find(|it| it.label == "x")
+            .expect("binding for x");
+        let v: i128 = xb.value.parse().expect("numeric binding");
+        assert!((0..=100).contains(&v), "x within the precondition: {v}");
+        assert!(xb.loc.is_some(), "x carries a source location");
+    }
+
+    #[test]
+    fn demo_loop_verifies_and_lints_unused_invariant() {
+        let k = krate();
+        let r = verify_function(&k, "demo_loop", &VcConfig::default());
+        assert_eq!(r.status, Status::Verified);
+        let lint = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unused-hypothesis")
+            .expect("unused-hypothesis lint present");
+        assert!(
+            lint.items
+                .iter()
+                .any(|it| it.label.starts_with("invariant#1")),
+            "second invariant flagged: {lint:?}"
+        );
+    }
+}

@@ -170,8 +170,11 @@ pub mod casestudy {
     pub const NAMES: [&str; 6] = ["ironkv", "nr", "pagetable", "mimalloc", "plog", "lists"];
 
     /// Build the named case-study krate (`None` for an unknown name).
+    /// Besides the Fig 9 systems, accepts `diagdemo` — the seeded
+    /// diagnostics demo used by the `explain` harness.
     pub fn krate(name: &str) -> Option<Krate> {
         Some(match name {
+            "diagdemo" => crate::diagdemo::krate(),
             "ironkv" => veris_ironkv::model::concrete_krate(),
             "nr" => nr_krate(),
             "pagetable" => merge(vec![
@@ -464,4 +467,234 @@ pub mod distlock {
     }
 }
 
+/// The `explain` harness: per-function failure diagnostics — unsat cores,
+/// counterexamples, unused-hypothesis lints — with deterministic human and
+/// JSON renderings (byte-identical across runs and thread counts).
+pub mod explain {
+    use super::*;
+    use veris_obs::json_escape;
+    use veris_vc::{verify_krate, KrateReport, Status};
+
+    /// Version of the `explain --json` / `profile --json` schema. Bump on
+    /// any shape change; the golden-file test pins the current shape.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Verify `system` and render diagnostics. `None` for an unknown
+    /// system name. Output contains no wall-clock quantities, so it is
+    /// byte-identical across repeated runs and thread counts.
+    pub fn explain_system(
+        system: &str,
+        fn_filter: Option<&str>,
+        threads: usize,
+        json: bool,
+    ) -> Option<String> {
+        let krate = casestudy::krate(system)?;
+        let cfg = cfg_for(Style::Verus);
+        let mut report = verify_krate(&krate, &cfg, threads);
+        if let Some(name) = fn_filter {
+            report.functions.retain(|f| f.name == name);
+        }
+        Some(if json {
+            render_json(system, &report)
+        } else {
+            render_human(system, &report)
+        })
+    }
+
+    fn status_str(s: &Status) -> (&'static str, String) {
+        match s {
+            Status::Verified => ("verified", String::new()),
+            Status::Failed(m) => ("failed", m.clone()),
+            Status::Unknown(m) => ("unknown", m.clone()),
+        }
+    }
+
+    pub fn render_human(system: &str, report: &KrateReport) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== explain: {system} ==");
+        for f in &report.functions {
+            let (s, detail) = status_str(&f.status);
+            let _ = write!(out, "\n{} — {}", f.name, s);
+            if !detail.is_empty() {
+                let _ = write!(out, " ({detail})");
+            }
+            if f.hyps_used > 0 {
+                let _ = write!(
+                    out,
+                    " [used {}/{} hypotheses]",
+                    f.hyps_used, f.hyps_asserted
+                );
+            }
+            let _ = writeln!(out);
+            for d in &f.diagnostics {
+                let _ = writeln!(out, "{}", d.render_human());
+            }
+        }
+        let (asserted, used) = report.hypothesis_usage();
+        if asserted > 0 {
+            let _ = writeln!(
+                out,
+                "\ncontext pruning: proofs used {used} of {asserted} asserted hypotheses ({:.1}%)",
+                100.0 * used as f64 / asserted as f64
+            );
+        }
+        out
+    }
+
+    pub fn render_json(system: &str, report: &KrateReport) -> String {
+        let fns: Vec<String> = report
+            .functions
+            .iter()
+            .map(|f| {
+                let (s, detail) = status_str(&f.status);
+                let diags: Vec<String> =
+                    f.diagnostics.iter().map(|d| d.to_json()).collect();
+                format!(
+                    "{{\"name\":\"{}\",\"status\":\"{}\",\"detail\":\"{}\",\"hyps_asserted\":{},\"hyps_used\":{},\"rlimit_spent\":{},\"diagnostics\":[{}]}}",
+                    json_escape(&f.name),
+                    s,
+                    json_escape(&detail),
+                    f.hyps_asserted,
+                    f.hyps_used,
+                    f.rlimit_spent(),
+                    diags.join(",")
+                )
+            })
+            .collect();
+        let (asserted, used) = report.hypothesis_usage();
+        format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"system\":\"{}\",\"context_pruning\":{{\"asserted\":{asserted},\"used\":{used}}},\"functions\":[{}]}}",
+            json_escape(system),
+            fns.join(",")
+        )
+    }
+}
+
+/// Deterministic verification-cost baseline over the Fig 9 case studies.
+///
+/// The committed `BENCH_baseline.json` records, per system, the total
+/// resource-meter units spent verifying at a fixed per-function rlimit
+/// budget (which replaces the wall-clock timeout, so every quantity here
+/// is deterministic). CI recomputes the totals and fails on >10% drift —
+/// a cheap regression tripwire for solver-cost changes that no wall-clock
+/// measurement could give us.
+pub mod baseline {
+    use super::*;
+    use crate::casestudy;
+    use veris_vc::{verify_krate, Status};
+
+    /// Per-function resource budget for the baseline run. Replaces the
+    /// wall-clock timeout so verdicts and counters are deterministic.
+    pub const BASELINE_RLIMIT: u64 = 2_000_000;
+
+    /// Allowed relative drift before `--check` fails, in percent.
+    pub const DRIFT_TOLERANCE_PCT: f64 = 10.0;
+
+    pub struct SystemCost {
+        pub system: String,
+        pub meter_units: u64,
+        pub quant_insts: u64,
+        pub functions: usize,
+        pub verified: usize,
+    }
+
+    /// Verify every Fig 9 case study at 1 thread under the baseline budget.
+    pub fn measure() -> Vec<SystemCost> {
+        let cfg = cfg_for(Style::Verus).with_rlimit(BASELINE_RLIMIT);
+        casestudy::NAMES
+            .iter()
+            .map(|&name| {
+                let krate = casestudy::krate(name).expect("known case study");
+                let report = verify_krate(&krate, &cfg, 1);
+                SystemCost {
+                    system: name.to_owned(),
+                    meter_units: report.total_meter().total(),
+                    quant_insts: report.merged_profile().total_instantiations(),
+                    functions: report.functions.len(),
+                    verified: report
+                        .functions
+                        .iter()
+                        .filter(|f| matches!(f.status, Status::Verified))
+                        .count(),
+                }
+            })
+            .collect()
+    }
+
+    pub fn render(rows: &[SystemCost]) -> String {
+        let systems: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "\"{}\":{{\"meter_units\":{},\"quant_insts\":{},\"functions\":{},\"verified\":{}}}",
+                    r.system, r.meter_units, r.quant_insts, r.functions, r.verified
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\":{},\"rlimit\":{},\"systems\":{{{}}}}}\n",
+            explain::SCHEMA_VERSION,
+            BASELINE_RLIMIT,
+            systems.join(",")
+        )
+    }
+
+    /// Extract each system's `meter_units` from a committed baseline by
+    /// string scanning (the workspace deliberately has no JSON-parser
+    /// dependency).
+    pub fn parse_meter_units(json: &str) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for name in casestudy::NAMES {
+            let key = format!("\"{name}\":{{\"meter_units\":");
+            if let Some(pos) = json.find(&key) {
+                let digits: String = json[pos + key.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                if let Ok(n) = digits.parse() {
+                    out.push((name.to_owned(), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compare a fresh measurement against the committed numbers. Returns
+    /// one human-readable line per violation (empty = within tolerance).
+    pub fn drift_failures(committed: &[(String, u64)], fresh: &[SystemCost]) -> Vec<String> {
+        let mut failures = Vec::new();
+        for row in fresh {
+            let Some((_, base)) = committed.iter().find(|(n, _)| *n == row.system) else {
+                failures.push(format!(
+                    "{}: missing from committed baseline (run `baseline --write`)",
+                    row.system
+                ));
+                continue;
+            };
+            let base_f = *base as f64;
+            let drift = if *base == 0 {
+                if row.meter_units == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                100.0 * (row.meter_units as f64 - base_f).abs() / base_f
+            };
+            if drift > DRIFT_TOLERANCE_PCT {
+                failures.push(format!(
+                    "{}: meter_units {} vs baseline {} ({:+.1}% > {:.0}% tolerance)",
+                    row.system,
+                    row.meter_units,
+                    base,
+                    100.0 * (row.meter_units as f64 - base_f) / base_f,
+                    DRIFT_TOLERANCE_PCT
+                ));
+            }
+        }
+        failures
+    }
+}
+
 pub mod alloc_suite;
+pub mod diagdemo;

@@ -1,0 +1,43 @@
+//! Determinism contract for the `explain` harness: its JSON output is
+//! byte-identical across repeated runs and thread counts, and matches the
+//! committed golden file exactly. The golden file doubles as the schema
+//! pin — any shape change must bump `explain::SCHEMA_VERSION` and
+//! regenerate it (`cargo run -p veris-bench --bin explain -- diagdemo --json`).
+
+use veris_bench::explain::{explain_system, SCHEMA_VERSION};
+
+#[test]
+fn explain_json_matches_committed_golden() {
+    let golden = include_str!("golden/explain_diagdemo.json");
+    let fresh = explain_system("diagdemo", None, 1, true).expect("known system");
+    assert_eq!(
+        fresh, golden,
+        "explain --json drifted from the golden file; if intentional, bump \
+         SCHEMA_VERSION and regenerate crates/bench/tests/golden/explain_diagdemo.json"
+    );
+    assert!(golden.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+}
+
+#[test]
+fn explain_json_byte_identical_across_runs_and_threads() {
+    let a = explain_system("diagdemo", None, 1, true).unwrap();
+    let b = explain_system("diagdemo", None, 1, true).unwrap();
+    let c = explain_system("diagdemo", None, 4, true).unwrap();
+    assert_eq!(a, b, "repeated runs differ");
+    assert_eq!(a, c, "thread count changed the output");
+}
+
+#[test]
+fn unsat_cores_deterministic_across_threads_on_real_system() {
+    let a = explain_system("lists", None, 1, true).unwrap();
+    let b = explain_system("lists", None, 4, true).unwrap();
+    assert_eq!(a, b, "lists cores differ between 1 and 4 threads");
+}
+
+#[test]
+fn explain_human_reports_counterexample_and_unused_hypothesis() {
+    let out = explain_system("diagdemo", None, 1, false).unwrap();
+    assert!(out.contains("validated counterexample"), "{out}");
+    assert!(out.contains("unused-hypothesis"), "{out}");
+    assert!(out.contains("context pruning:"), "{out}");
+}

@@ -23,6 +23,10 @@ pub struct MacroRow {
     pub rlimit_spent: u64,
     /// Total quantifier instantiations performed at 1 core.
     pub quant_insts: u64,
+    /// Context-pruning effectiveness: labeled hypotheses asserted and
+    /// actually used (unsat-core membership) over the verified queries.
+    pub hyps_asserted: usize,
+    pub hyps_used: usize,
     pub all_verified: bool,
 }
 
@@ -45,6 +49,7 @@ impl MacroRow {
         one_core: &KrateReport,
         n_core: &KrateReport,
     ) -> MacroRow {
+        let (hyps_asserted, hyps_used) = one_core.hypothesis_usage();
         MacroRow {
             system: system.to_owned(),
             lines: count_krate(krate),
@@ -53,7 +58,20 @@ impl MacroRow {
             smt_bytes: one_core.total_query_bytes(),
             rlimit_spent: one_core.total_meter().total(),
             quant_insts: one_core.merged_profile().total_instantiations(),
+            hyps_asserted,
+            hyps_used,
             all_verified: one_core.all_verified() && n_core.all_verified(),
+        }
+    }
+
+    /// Fraction of asserted labeled hypotheses the proofs actually used
+    /// (unsat-core membership), as a percentage. 100 when nothing was
+    /// asserted.
+    pub fn ctx_used_pct(&self) -> f64 {
+        if self.hyps_asserted == 0 {
+            100.0
+        } else {
+            100.0 * self.hyps_used as f64 / self.hyps_asserted as f64
         }
     }
 }
@@ -74,7 +92,7 @@ impl MacroTable {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>4}",
+            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>5} {:>4}",
             "System",
             "trusted",
             "proof",
@@ -85,6 +103,7 @@ impl MacroTable {
             "SMT(KB)",
             "rlimit",
             "qinst",
+            "ctx%",
             "ok"
         );
         let mut total = LineCounts::default();
@@ -92,7 +111,7 @@ impl MacroTable {
             total.add(r.lines);
             let _ = writeln!(
                 out,
-                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4}",
+                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4.0}% {:>4}",
                 r.system,
                 r.lines.trusted,
                 r.lines.proof,
@@ -103,6 +122,7 @@ impl MacroTable {
                 r.smt_bytes / 1024,
                 r.rlimit_spent,
                 r.quant_insts,
+                r.ctx_used_pct(),
                 if r.all_verified { "yes" } else { "NO" },
             );
         }

@@ -1,0 +1,218 @@
+//! Structured failure diagnostics.
+//!
+//! A [`Diagnostic`] is one machine-readable fact about a verification
+//! outcome — a counterexample, an unsat core, an unused-hypothesis lint —
+//! with a human rendering and a JSONL emitter. The verifier attaches a
+//! list of diagnostics to each function report; the `explain` harness
+//! prints them.
+//!
+//! Determinism contract: every field is produced from sorted/ordered data,
+//! so the human and JSONL renderings are byte-identical across runs and
+//! thread counts.
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The function does not verify (counterexample, failed obligation).
+    Error,
+    /// Suspicious but not wrong (unused precondition, unvalidated model).
+    Warning,
+    /// Informational (unsat core contents, pruning stats).
+    Note,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One structured item inside a diagnostic: a labeled value with an
+/// optional source location (e.g. a counterexample binding `x = 7` at
+/// `list.vir:12`, or one unsat-core member).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiagItem {
+    pub label: String,
+    pub value: String,
+    pub loc: Option<String>,
+}
+
+impl DiagItem {
+    pub fn new(label: impl Into<String>, value: impl Into<String>) -> DiagItem {
+        DiagItem {
+            label: label.into(),
+            value: value.into(),
+            loc: None,
+        }
+    }
+
+    pub fn with_loc(mut self, loc: impl Into<String>) -> DiagItem {
+        self.loc = Some(loc.into());
+        self
+    }
+}
+
+/// One machine-readable fact about a verification outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable machine-readable code: `counterexample`, `unsat-core`,
+    /// `unused-hypothesis`, `unvalidated-model`, `context-pruning`.
+    pub code: String,
+    /// The function the diagnostic is about.
+    pub function: String,
+    /// Human-readable headline.
+    pub message: String,
+    /// Structured payload, in a deterministic order.
+    pub items: Vec<DiagItem>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        severity: Severity,
+        code: impl Into<String>,
+        function: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code: code.into(),
+            function: function.into(),
+            message: message.into(),
+            items: Vec::new(),
+        }
+    }
+
+    pub fn with_items(mut self, items: Vec<DiagItem>) -> Diagnostic {
+        self.items = items;
+        self
+    }
+
+    /// Multi-line human rendering:
+    ///
+    /// ```text
+    /// error[counterexample] fn_name: ensures does not hold
+    ///   x = 7 (list.vir:3)
+    ///   hi = 3
+    /// ```
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "{}[{}] {}: {}",
+            self.severity.as_str(),
+            self.code,
+            self.function,
+            self.message
+        );
+        for it in &self.items {
+            out.push_str("\n  ");
+            if it.value.is_empty() {
+                out.push_str(&it.label);
+            } else {
+                out.push_str(&format!("{} = {}", it.label, it.value));
+            }
+            if let Some(loc) = &it.loc {
+                out.push_str(&format!(" ({loc})"));
+            }
+        }
+        out
+    }
+
+    /// One JSON object (a single JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self
+            .items
+            .iter()
+            .map(|it| {
+                let loc = match &it.loc {
+                    Some(l) => format!(",\"loc\":\"{}\"", json_escape(l)),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"label\":\"{}\",\"value\":\"{}\"{loc}}}",
+                    json_escape(&it.label),
+                    json_escape(&it.value)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"function\":\"{}\",\"message\":\"{}\",\"items\":[{}]}}",
+            self.severity.as_str(),
+            json_escape(&self.code),
+            json_escape(&self.function),
+            json_escape(&self.message),
+            items.join(",")
+        )
+    }
+}
+
+/// Render a batch as JSONL (one diagnostic per line).
+pub fn to_jsonl(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_json())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            "counterexample",
+            "list_len",
+            "ensures does not hold",
+        )
+        .with_items(vec![
+            DiagItem::new("x", "7").with_loc("list.vir:3"),
+            DiagItem::new("hi", "3"),
+        ]);
+        let h = d.render_human();
+        assert!(h.starts_with("error[counterexample] list_len: ensures does not hold"));
+        assert!(h.contains("\n  x = 7 (list.vir:3)"));
+        assert!(h.contains("\n  hi = 3"));
+    }
+
+    #[test]
+    fn jsonl_rendering_escapes() {
+        let d = Diagnostic::new(Severity::Note, "unsat-core", "f", "used 2 of 3 hypotheses")
+            .with_items(vec![DiagItem::new("requires#0: a \"q\" b", "")]);
+        let j = d.to_json();
+        assert!(j.contains("\\\"q\\\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(!j.contains('\n'));
+        let both = to_jsonl(&[d.clone(), d]);
+        assert_eq!(both.lines().count(), 2);
+    }
+
+    #[test]
+    fn item_without_value_renders_bare() {
+        let d = Diagnostic::new(Severity::Warning, "unused-hypothesis", "g", "1 unused")
+            .with_items(vec![DiagItem::new("requires#1: x > 0", "")]);
+        assert!(d.render_human().contains("\n  requires#1: x > 0"));
+    }
+}

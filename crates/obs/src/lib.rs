@@ -15,14 +15,19 @@
 //! * [`quant`] — a quantifier-instantiation profiler: per-quantifier
 //!   instantiation counts, triggers matched, and generation depth, with a
 //!   top-k "most instantiated" report (the `--profile` idiom).
+//! * [`diag`] — structured failure diagnostics ([`Diagnostic`]):
+//!   counterexamples, unsat cores, and unused-hypothesis lints with human
+//!   and JSONL emitters (the `explain` idiom).
 //!
 //! The crate is a dependency leaf: pure `std`, no solver types, so every
 //! layer of the pipeline can use it without cycles.
 
+pub mod diag;
 pub mod meter;
 pub mod quant;
 pub mod trace;
 
+pub use diag::{json_escape, to_jsonl, DiagItem, Diagnostic, Severity};
 pub use meter::{Counter, MeterSnapshot, ResourceMeter};
 pub use quant::{QuantProfile, QuantStats};
 pub use trace::{time, PhaseTimes, TimeTree};

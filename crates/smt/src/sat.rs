@@ -146,6 +146,10 @@ pub struct SatSolver {
     pub decisions: u64,
     pub propagations: u64,
     root_conflict: bool,
+    /// After an `Unsat` answer from [`SatSolver::solve_with_assumptions`]:
+    /// the subset of assumption literals implicated in the refutation (empty
+    /// when the problem is unsat without any assumptions).
+    conflict_core: Vec<Lit>,
     /// Optional resource meter; charged during search when present.
     meter: Option<Arc<ResourceMeter>>,
 }
@@ -178,6 +182,7 @@ impl SatSolver {
             decisions: 0,
             propagations: 0,
             root_conflict: false,
+            conflict_core: Vec::new(),
             meter: None,
         }
     }
@@ -581,10 +586,36 @@ impl SatSolver {
     // --- main search ----------------------------------------------------
 
     /// Solve with a final-check callback (theory integration hook).
-    pub fn solve_with<F>(&mut self, limits: SatLimits, mut final_check: F) -> SatResult
+    pub fn solve_with<F>(&mut self, limits: SatLimits, final_check: F) -> SatResult
     where
         F: FnMut(&SatSolver) -> FinalCheck,
     {
+        self.solve_with_assumptions(limits, &[], final_check)
+    }
+
+    /// After `solve_with_assumptions` returns `Unsat`, the subset of
+    /// assumption literals implicated in the final conflict. Empty when the
+    /// clause set is unsatisfiable on its own.
+    pub fn core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Solve under a set of assumption literals (MiniSat-style incremental
+    /// interface). Each assumption is enqueued as a decision at its own
+    /// level before ordinary branching; an `Unsat` answer additionally
+    /// yields, via [`SatSolver::core`], the subset of assumptions the
+    /// refutation depends on (final-conflict analysis over the implication
+    /// graph).
+    pub fn solve_with_assumptions<F>(
+        &mut self,
+        limits: SatLimits,
+        assumptions: &[Lit],
+        mut final_check: F,
+    ) -> SatResult
+    where
+        F: FnMut(&SatSolver) -> FinalCheck,
+    {
+        self.conflict_core.clear();
         if self.root_conflict {
             return SatResult::Unsat;
         }
@@ -635,6 +666,33 @@ impl SatSolver {
                     restart_unit = 64;
                     next_restart = self.conflicts + restart_unit * luby(luby_idx);
                     self.backtrack_to(0);
+                    continue;
+                }
+                if (self.decision_level() as usize) < assumptions.len() {
+                    // Assumptions occupy the lowest decision levels, one
+                    // per level, re-established after every restart.
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value(a) {
+                        LBool::True => {
+                            // Already implied: open an empty level so level
+                            // indices stay aligned with assumption indices.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // The clause set refutes this assumption given
+                            // the ones already decided.
+                            self.conflict_core = self.analyze_final(a);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.decisions += 1;
+                            if let Some(m) = &self.meter {
+                                m.charge(Counter::SatDecisions, 1);
+                            }
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
                     continue;
                 }
                 match self.pick_branch() {
@@ -697,6 +755,40 @@ impl SatSolver {
     /// Plain SAT solve without theories.
     pub fn solve(&mut self, limits: SatLimits) -> SatResult {
         self.solve_with(limits, |_| FinalCheck::Consistent)
+    }
+
+    /// Final-conflict analysis: the assumption `p` is falsified under the
+    /// currently-decided assumptions. Walk the implication graph backwards
+    /// from `¬p` and collect the assumption decisions it rests on.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            // `¬p` is implied at the root: `p` alone is refuted.
+            return core;
+        }
+        let mut seen = vec![false; self.num_vars as usize];
+        seen[p.var().0 as usize] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            if !seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                // Every decision below the assumption levels is itself an
+                // assumption (empty levels carry no trail literals).
+                None => core.push(l),
+                Some(cref) => {
+                    for &q in &self.clauses[cref.0 as usize].lits[1..] {
+                        if self.level[q.var().0 as usize] > 0 {
+                            seen[q.var().0 as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        core
     }
 }
 
@@ -810,6 +902,79 @@ mod tests {
             }
         });
         assert_eq!(r, SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_sat_then_unsat_with_core() {
+        // (x1 -> x2), (x3 -> !x2): sat under {x1}, sat under {x3},
+        // unsat under {x1, x3} with both assumptions in the core.
+        let mut s = solver_with_vars(3);
+        assert!(s.add_clause(vec![lit(-1), lit(2)]));
+        assert!(s.add_clause(vec![lit(-3), lit(-2)]));
+        let asm = [lit(1)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Sat
+        );
+        let asm = [lit(3)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Sat
+        );
+        let asm = [lit(1), lit(3)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        let mut core = s.core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![lit(1), lit(3)]);
+        // Not a root conflict: solving without assumptions is still sat.
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn assumption_core_excludes_irrelevant() {
+        // x1 and !x1 both forced by assumptions {x1, x4, !x1}; x4 is
+        // irrelevant and must not appear in the core.
+        let mut s = solver_with_vars(4);
+        assert!(s.add_clause(vec![lit(-1), lit(2)]));
+        assert!(s.add_clause(vec![lit(-2), lit(3)]));
+        let asm = [lit(4), lit(1), lit(-3)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        let mut core = s.core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![lit(1), lit(-3)]);
+    }
+
+    #[test]
+    fn root_unsat_yields_empty_core() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(vec![lit(1)]);
+        s.add_clause(vec![lit(-1)]);
+        let asm = [lit(2)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        assert!(s.core().is_empty());
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        let asm = [lit(1), lit(-1)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        let mut core = s.core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, vec![lit(1), lit(-1)]);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub struct Model {
     /// True when quantifiers were present and not saturated: the model may
     /// not satisfy them.
     pub maybe_spurious: bool,
+    /// True when every asserted formula was re-evaluated under this model
+    /// and found satisfied — the model is a genuine counterexample, not an
+    /// artifact of incomplete theory reasoning.
+    pub validated: bool,
 }
 
 /// Result of a `check` call.
@@ -140,6 +144,18 @@ pub struct Solver {
     /// Formulas asserted by the user (for the printer / query-size metric).
     pub asserted: Vec<TermId>,
     has_bv: bool,
+    /// Surviving existentials encoded as unconstrained proxy atoms: a `Sat`
+    /// model cannot account for them, so it is flagged `maybe_spurious`
+    /// (an `Unsat` answer remains sound).
+    has_opaque: bool,
+    /// Labeled hypotheses: (provenance label, selector literal). Each
+    /// labeled assertion is gated behind its selector; `check` passes the
+    /// selectors as assumptions, and an `Unsat` answer yields the subset
+    /// the refutation used (the unsat core).
+    hypotheses: Vec<(String, Lit)>,
+    /// Unsat core from the most recent `check`, as hypothesis labels in
+    /// assertion order.
+    last_core: Option<Vec<String>>,
     pub stats: Stats,
     /// Optional resource meter shared with the SAT core and theories; when
     /// its budget trips, `check` returns `Unknown` with the canonical
@@ -177,6 +193,9 @@ impl Solver {
             tricho_done: HashSet::new(),
             asserted: Vec::new(),
             has_bv: false,
+            has_opaque: false,
+            hypotheses: Vec::new(),
+            last_core: None,
             stats: Stats::default(),
             meter: None,
             profile: QuantProfile::new(),
@@ -213,6 +232,35 @@ impl Solver {
         self.asserted.push(t);
         self.queue.push((t, false));
         self.drain_queue();
+    }
+
+    /// Assert a boolean formula under a provenance label. The formula is
+    /// gated behind a fresh selector literal passed to the SAT core as an
+    /// assumption, so an `Unsat` verdict can report, via
+    /// [`Solver::unsat_core`], which labeled hypotheses the refutation
+    /// actually used. Side axioms generated during encoding (ite lifting,
+    /// trichotomy, datatype structure) stay unconditional.
+    pub fn assert_labeled(&mut self, t: TermId, label: &str) {
+        debug_assert_eq!(self.store.sort_of(t), self.store.bool_sort());
+        self.asserted.push(t);
+        let lit = self.encode_formula(t, false);
+        let sel = self.fresh_lit();
+        self.sat.add_clause(vec![sel.negate(), lit]);
+        self.hypotheses.push((label.to_owned(), sel));
+        self.drain_queue();
+    }
+
+    /// Labels of every hypothesis asserted via [`Solver::assert_labeled`],
+    /// in assertion order.
+    pub fn hypothesis_labels(&self) -> Vec<String> {
+        self.hypotheses.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// After an `Unsat` answer from [`Solver::check`]: the labels of the
+    /// hypotheses the refutation depends on, in assertion order. `None`
+    /// before the first unsat check.
+    pub fn unsat_core(&self) -> Option<&[String]> {
+        self.last_core.as_deref()
     }
 
     fn drain_queue(&mut self) {
@@ -474,8 +522,10 @@ impl Solver {
                 } else {
                     // A surviving existential (under an iff without
                     // quantifier-free expansion) — treat as an unconstrained
-                    // atom; sound for Unsat, prevents claiming Sat.
-                    self.has_bv = true; // force Unknown on Sat side
+                    // atom. Sound for Unsat; on the Sat side the model is
+                    // flagged `maybe_spurious` (the proxy carries no
+                    // semantics) and model validation keeps it honest.
+                    self.has_opaque = true;
                     self.fresh_lit()
                 }
             }
@@ -627,11 +677,13 @@ impl Solver {
     /// Check satisfiability of all asserted formulas.
     pub fn check(&mut self) -> SmtResult {
         self.drain_queue();
+        self.last_core = None;
         if self.has_bv {
             return SmtResult::Unknown(
                 "bit-vector or unsupported atoms present; use the bit-blasting solver".into(),
             );
         }
+        let assumptions: Vec<Lit> = self.hypotheses.iter().map(|&(_, l)| l).collect();
         let deadline = self.config.timeout.map(|d| Instant::now() + d);
         let max_rounds = self.config.max_quant_rounds;
         for _round in 0..=max_rounds {
@@ -658,7 +710,7 @@ impl Solver {
                 let meter = self.meter.clone();
                 let mut limits = self.config.sat_limits;
                 limits.deadline = deadline;
-                sat.solve_with(limits, |satref| {
+                sat.solve_with_assumptions(limits, &assumptions, |satref| {
                     stats.final_checks += 1;
                     match theory_final_check(
                         store,
@@ -684,7 +736,17 @@ impl Solver {
             self.stats.conflicts = self.sat.conflicts;
             self.stats.propagations = self.sat.propagations;
             match outcome {
-                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unsat => {
+                    let core: HashSet<Lit> = self.sat.core().iter().copied().collect();
+                    self.last_core = Some(
+                        self.hypotheses
+                            .iter()
+                            .filter(|&&(_, l)| core.contains(&l))
+                            .map(|(n, _)| n.clone())
+                            .collect(),
+                    );
+                    return SmtResult::Unsat;
+                }
                 SatResult::Unknown => {
                     if let Some(m) = &self.meter {
                         if m.exhausted() {
@@ -726,7 +788,33 @@ impl Solver {
                             .quants
                             .iter()
                             .any(|&(_, p)| self.sat.value(p) == LBool::True);
-                        model.maybe_spurious = any_quant && !self.config.epr_mode;
+                        model.maybe_spurious =
+                            (any_quant && !self.config.epr_mode) || self.has_opaque;
+                        // Validate: re-evaluate every asserted formula under
+                        // the candidate model. A definite violation means
+                        // the theory layer accepted a bogus assignment
+                        // (e.g. nonlinear arithmetic beyond simplex) — do
+                        // not report it as a counterexample.
+                        match self.validate_model(&model) {
+                            Validation::Violated(t) => {
+                                return SmtResult::Unknown(format!(
+                                    "candidate model failed validation on `{}`",
+                                    self.store.display(t)
+                                ));
+                            }
+                            Validation::Valid => {
+                                model.validated = true;
+                                model.maybe_spurious = false;
+                            }
+                            Validation::Indeterminate => {
+                                // In EPR mode saturation is complete, so an
+                                // unevaluable quantifier does not make the
+                                // model suspect.
+                                if !self.config.epr_mode {
+                                    model.maybe_spurious = true;
+                                }
+                            }
+                        }
                         return SmtResult::Sat(model);
                     }
                     // else: loop and re-solve with the new instances.
@@ -931,6 +1019,247 @@ impl Solver {
     /// counted through a streaming sink (the script itself is never built).
     pub fn query_size_bytes(&self) -> usize {
         crate::printer::query_size_bytes(&self.store, &self.asserted)
+    }
+
+    // ------------------------------------------------------------------
+    // Model validation
+    // ------------------------------------------------------------------
+
+    /// Re-evaluate every asserted formula under a candidate model. Ground
+    /// structure is evaluated semantically (so inconsistencies the theory
+    /// layer cannot see — nonlinear products, unsaturated instances — are
+    /// caught); genuinely uninterpreted atoms fall back to the model's
+    /// boolean assignment, and quantified formulas are indeterminate.
+    pub fn validate_model(&self, model: &Model) -> Validation {
+        let mut bcache: HashMap<TermId, Option<bool>> = HashMap::new();
+        let mut icache: HashMap<TermId, Option<i128>> = HashMap::new();
+        let mut indeterminate = false;
+        for &t in &self.asserted {
+            match self.eval_bool(t, model, &mut bcache, &mut icache) {
+                Some(true) => {}
+                Some(false) => return Validation::Violated(t),
+                None => indeterminate = true,
+            }
+        }
+        if indeterminate {
+            Validation::Indeterminate
+        } else {
+            Validation::Valid
+        }
+    }
+
+    fn eval_bool(
+        &self,
+        t: TermId,
+        model: &Model,
+        bcache: &mut HashMap<TermId, Option<bool>>,
+        icache: &mut HashMap<TermId, Option<i128>>,
+    ) -> Option<bool> {
+        if let Some(&v) = bcache.get(&t) {
+            return v;
+        }
+        let v = match self.store.kind(t).clone() {
+            TermKind::BoolConst(b) => Some(b),
+            TermKind::Not(a) => self.eval_bool(a, model, bcache, icache).map(|b| !b),
+            TermKind::And(parts) => three_valued_all(
+                parts
+                    .iter()
+                    .map(|&p| self.eval_bool(p, model, bcache, icache)),
+            ),
+            TermKind::Or(parts) => three_valued_all(
+                parts
+                    .iter()
+                    .map(|&p| self.eval_bool(p, model, bcache, icache).map(|b| !b)),
+            )
+            .map(|b| !b),
+            TermKind::Implies(a, b) => {
+                let la = self.eval_bool(a, model, bcache, icache);
+                let lb = self.eval_bool(b, model, bcache, icache);
+                match (la, lb) {
+                    (Some(false), _) | (_, Some(true)) => Some(true),
+                    (Some(true), Some(false)) => Some(false),
+                    _ => None,
+                }
+            }
+            TermKind::Ite(c, a, b) => match self.eval_bool(c, model, bcache, icache) {
+                Some(true) => self.eval_bool(a, model, bcache, icache),
+                Some(false) => self.eval_bool(b, model, bcache, icache),
+                None => {
+                    let va = self.eval_bool(a, model, bcache, icache);
+                    let vb = self.eval_bool(b, model, bcache, icache);
+                    if va.is_some() && va == vb {
+                        va
+                    } else {
+                        None
+                    }
+                }
+            },
+            TermKind::Eq(a, b) => {
+                if self.store.sort_of(a) == self.store.bool_sort() {
+                    let la = self.eval_bool(a, model, bcache, icache);
+                    let lb = self.eval_bool(b, model, bcache, icache);
+                    match (la, lb) {
+                        (Some(x), Some(y)) => Some(x == y),
+                        _ => None,
+                    }
+                } else if self.store.sort_of(a) == self.store.int_sort() {
+                    let va = self.eval_int(a, model, bcache, icache);
+                    let vb = self.eval_int(b, model, bcache, icache);
+                    match (va, vb) {
+                        (Some(x), Some(y)) => Some(x == y),
+                        _ => None,
+                    }
+                } else {
+                    model.bools.get(&t).copied()
+                }
+            }
+            // For arithmetic atoms, never fall back to the SAT assignment:
+            // when the operands are opaque (nonlinear, div-by-zero) the
+            // assignment is precisely the unchecked claim.
+            TermKind::Le0(lin) => self.eval_int(lin, model, bcache, icache).map(|v| v <= 0),
+            TermKind::Distinct(parts) => {
+                let vals: Vec<Option<i128>> = parts
+                    .iter()
+                    .map(|&p| self.eval_int(p, model, bcache, icache))
+                    .collect();
+                if vals.iter().all(|v| v.is_some()) {
+                    let vals: Vec<i128> = vals.into_iter().map(|v| v.unwrap()).collect();
+                    let mut uniq = vals.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    Some(uniq.len() == vals.len())
+                } else {
+                    None
+                }
+            }
+            TermKind::Quantifier(_) => None,
+            // Uninterpreted boolean atoms: the model's assignment is their
+            // semantics (EUF already checked congruence consistency).
+            _ => model.bools.get(&t).copied(),
+        };
+        bcache.insert(t, v);
+        v
+    }
+
+    fn eval_int(
+        &self,
+        t: TermId,
+        model: &Model,
+        bcache: &mut HashMap<TermId, Option<bool>>,
+        icache: &mut HashMap<TermId, Option<i128>>,
+    ) -> Option<i128> {
+        if let Some(&v) = icache.get(&t) {
+            return v;
+        }
+        let v = match self.store.kind(t).clone() {
+            TermKind::IntConst(k) => Some(k),
+            TermKind::Linear { konst, monomials } => {
+                let mut acc = konst;
+                let mut ok = true;
+                for &(c, a) in &monomials {
+                    match self.eval_int(a, model, bcache, icache) {
+                        Some(v) => acc += c * v,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    Some(acc)
+                } else {
+                    None
+                }
+            }
+            TermKind::NlMul(factors) => {
+                // Evaluate structurally so simplex-opaque nonlinear products
+                // are checked against their factors.
+                let mut acc = 1i128;
+                let mut ok = true;
+                for &f in &factors {
+                    match self.eval_int(f, model, bcache, icache) {
+                        Some(v) => acc = acc.checked_mul(v)?,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                // Never fall back to the simplex value of the product
+                // itself: that value is exactly the unchecked quantity, and
+                // trusting it would let bogus nonlinear models validate.
+                if ok {
+                    Some(acc)
+                } else {
+                    None
+                }
+            }
+            TermKind::Ite(c, a, b) => match self.eval_bool(c, model, bcache, icache) {
+                Some(true) => self.eval_int(a, model, bcache, icache),
+                Some(false) => self.eval_int(b, model, bcache, icache),
+                None => None,
+            },
+            // Div/mod are opaque simplex variables whose defining axioms
+            // were ground-asserted; prefer the value the theory chose.
+            TermKind::IntDiv(a, b) => match model.ints.get(&t) {
+                Some(&v) => Some(v),
+                None => {
+                    let va = self.eval_int(a, model, bcache, icache)?;
+                    let vb = self.eval_int(b, model, bcache, icache)?;
+                    if vb == 0 {
+                        None
+                    } else {
+                        Some((va - va.rem_euclid(vb)) / vb)
+                    }
+                }
+            },
+            TermKind::IntMod(a, b) => match model.ints.get(&t) {
+                Some(&v) => Some(v),
+                None => {
+                    let va = self.eval_int(a, model, bcache, icache)?;
+                    let vb = self.eval_int(b, model, bcache, icache)?;
+                    if vb == 0 {
+                        None
+                    } else {
+                        Some(va.rem_euclid(vb))
+                    }
+                }
+            },
+            // Opaque leaves (vars, applications, selectors): the simplex
+            // assignment is their value.
+            _ => model.ints.get(&t).copied(),
+        };
+        icache.insert(t, v);
+        v
+    }
+}
+
+/// Outcome of [`Solver::validate_model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Validation {
+    /// Every asserted formula evaluates to true: genuine model.
+    Valid,
+    /// Some formula could not be fully evaluated (quantifiers, opaque
+    /// atoms); the model is plausible but unconfirmed.
+    Indeterminate,
+    /// This asserted formula evaluates to false: the model is bogus.
+    Violated(TermId),
+}
+
+/// All-of over three-valued booleans: false dominates, then unknown.
+fn three_valued_all(it: impl Iterator<Item = Option<bool>>) -> Option<bool> {
+    let mut unknown = false;
+    for v in it {
+        match v {
+            Some(false) => return Some(false),
+            None => unknown = true,
+            Some(true) => {}
+        }
+    }
+    if unknown {
+        None
+    } else {
+        Some(true)
     }
 }
 

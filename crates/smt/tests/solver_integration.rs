@@ -596,3 +596,178 @@ fn nested_quantifier_alternation() {
     s.assert(seed);
     assert_unsat(&mut s);
 }
+
+// ----------------------------------------------------------------------
+// Unsat cores (labeled hypotheses) and model validation
+// ----------------------------------------------------------------------
+
+#[test]
+fn unsat_core_reports_used_hypotheses() {
+    // h1: x >= 5, h2: y >= 0 (irrelevant), goal-negation: x < 5.
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let y = s.store.mk_var("y", int);
+    let five = s.store.mk_int(5);
+    let zero = s.store.mk_int(0);
+    let h1 = s.store.mk_ge(x, five);
+    let h2 = s.store.mk_ge(y, zero);
+    let neg_goal = s.store.mk_lt(x, five);
+    s.assert_labeled(h1, "requires#0");
+    s.assert_labeled(h2, "requires#1");
+    s.assert_labeled(neg_goal, "goal");
+    assert_unsat(&mut s);
+    let core = s.unsat_core().expect("core after unsat").to_vec();
+    assert!(core.contains(&"requires#0".to_owned()), "{core:?}");
+    assert!(core.contains(&"goal".to_owned()), "{core:?}");
+    assert!(!core.contains(&"requires#1".to_owned()), "{core:?}");
+}
+
+#[test]
+fn unsat_core_deterministic_across_reruns() {
+    let run = || {
+        let mut s = solver();
+        let int = s.store.int_sort();
+        let x = s.store.mk_var("x", int);
+        let ten = s.store.mk_int(10);
+        let three = s.store.mk_int(3);
+        let a = s.store.mk_ge(x, ten);
+        let b = s.store.mk_le(x, three);
+        let c = {
+            let zero = s.store.mk_int(0);
+            s.store.mk_ge(x, zero)
+        };
+        s.assert_labeled(a, "lo");
+        s.assert_labeled(b, "hi");
+        s.assert_labeled(c, "nonneg");
+        assert_unsat(&mut s);
+        s.unsat_core().unwrap().to_vec()
+    };
+    let c1 = run();
+    let c2 = run();
+    assert_eq!(c1, c2);
+    assert!(c1.contains(&"lo".to_owned()) && c1.contains(&"hi".to_owned()));
+    assert!(!c1.contains(&"nonneg".to_owned()));
+}
+
+#[test]
+fn unsat_core_minimal_ish_dropping_any_member_flips_verdict() {
+    // Five labeled hypotheses, two of them jointly contradictory with the
+    // negated goal; the rest padding. The reported core must be tight
+    // enough that removing ANY member makes the remainder satisfiable.
+    let build = |skip: Option<&str>| {
+        let mut s = solver();
+        let int = s.store.int_sort();
+        let x = s.store.mk_var("x", int);
+        let y = s.store.mk_var("y", int);
+        let c5 = s.store.mk_int(5);
+        let c0 = s.store.mk_int(0);
+        let c9 = s.store.mk_int(9);
+        let hyps: Vec<(&str, TermId)> = vec![
+            ("requires#0", s.store.mk_ge(x, c5)),
+            ("requires#1", s.store.mk_ge(y, c0)),
+            ("requires#2", s.store.mk_le(y, c9)),
+            ("goal", s.store.mk_lt(x, c5)),
+        ];
+        for (label, t) in hyps {
+            if Some(label) != skip {
+                s.assert_labeled(t, label);
+            }
+        }
+        s
+    };
+    let mut s = build(None);
+    assert_unsat(&mut s);
+    let core = s.unsat_core().expect("core").to_vec();
+    assert!(core.len() >= 2, "{core:?}");
+    for member in &core {
+        let mut s2 = build(Some(member));
+        match s2.check() {
+            SmtResult::Sat(_) | SmtResult::Unknown(_) => {}
+            SmtResult::Unsat => panic!("core not minimal: still unsat without {member}"),
+        }
+    }
+}
+
+#[test]
+fn labeled_hypotheses_still_sat_when_consistent() {
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let two = s.store.mk_int(2);
+    let h = s.store.mk_ge(x, two);
+    s.assert_labeled(h, "only");
+    let m = assert_sat(&mut s);
+    assert!(m.validated, "ground model should validate");
+    assert!(!m.maybe_spurious);
+    assert!(m.ints.get(&x).is_some_and(|&v| v >= 2));
+}
+
+#[test]
+fn ground_counterexample_is_validated() {
+    // x > 3 and x < 10: sat, and the model must evaluate all asserts true.
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let three = s.store.mk_int(3);
+    let ten = s.store.mk_int(10);
+    let a = s.store.mk_gt(x, three);
+    let b = s.store.mk_lt(x, ten);
+    s.assert(a);
+    s.assert(b);
+    let m = assert_sat(&mut s);
+    assert!(m.validated);
+    let v = m.ints[&x];
+    assert!(v > 3 && v < 10, "model value {v} violates the asserts");
+}
+
+#[test]
+fn nonlinear_bogus_model_never_validated() {
+    // x * x = -1 has no integer solution; simplex treats the product as
+    // opaque, so the SAT/theory stack may accept it — validation must
+    // refuse to endorse the bogus model as a confirmed counterexample.
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let xx = s.store.mk_mul(x, x);
+    let negone = s.store.mk_int(-1);
+    let eq = s.store.mk_eq(xx, negone);
+    s.assert(eq);
+    match s.check() {
+        SmtResult::Unknown(msg) => {
+            assert!(msg.contains("validation"), "unexpected reason: {msg}")
+        }
+        SmtResult::Unsat => {} // a smarter theory layer may refute it outright
+        SmtResult::Sat(m) => {
+            // The product is opaque to the evaluator, so the best the
+            // solver can do is refuse to vouch for the assignment.
+            assert!(!m.validated, "bogus model validated: {m:?}");
+            assert!(m.maybe_spurious, "bogus model not flagged: {m:?}");
+        }
+    }
+}
+
+#[test]
+fn quantified_sat_flagged_not_validated() {
+    // The existential under an iff is skolemized away, so the Sat verdict
+    // is genuine (p = true, witness 101) — but the quantified assertion
+    // cannot be fully evaluated, so the model must come back flagged
+    // maybe_spurious and unvalidated rather than falsely endorsed.
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let p = s.store.mk_var("p", s.store.bool_sort());
+    let bx = s.store.mk_bound(0, int);
+    let hundred = s.store.mk_int(100);
+    let body = s.store.mk_gt(bx, hundred);
+    let ex = s.store.mk_exists(vec![(0, int)], vec![], body, "ex_big");
+    let iff = s.store.mk_eq(p, ex);
+    s.assert(iff);
+    s.assert(p);
+    match s.check() {
+        SmtResult::Sat(m) => {
+            assert!(m.maybe_spurious);
+            assert!(!m.validated);
+        }
+        other => panic!("expected flagged sat, got {other:?}"),
+    }
+}

@@ -14,11 +14,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use veris_obs::{time, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, TimeTree};
+use veris_obs::{
+    time, DiagItem, Diagnostic, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, Severity,
+    TimeTree,
+};
 use veris_smt::quant::TriggerPolicy;
-use veris_smt::solver::{Config as SmtConfig, SmtResult, Solver};
+use veris_smt::solver::{Config as SmtConfig, Model, SmtResult, Solver};
 use veris_smt::term::TermId;
+use veris_vir::expr::var;
+use veris_vir::loc::SourceMap;
 use veris_vir::module::{FnBody, Function, Krate, Mode};
+use veris_vir::ty::Ty;
 
 use crate::ctx::EncCtx;
 use crate::style::Style;
@@ -157,6 +163,14 @@ pub struct FnReport {
     pub phases: PhaseTimes,
     /// Per-quantifier instantiation profile.
     pub profile: QuantProfile,
+    /// Structured diagnostics: counterexamples, unsat cores,
+    /// unused-hypothesis lints.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Labeled hypotheses asserted for the main query (context size).
+    pub hyps_asserted: usize,
+    /// Hypotheses the refutation actually used (unsat-core size); 0 when
+    /// the query did not come back `Unsat`.
+    pub hyps_used: usize,
 }
 
 impl FnReport {
@@ -177,6 +191,9 @@ impl FnReport {
             meter: MeterSnapshot::default(),
             phases: PhaseTimes::default(),
             profile: QuantProfile::new(),
+            diagnostics: Vec::new(),
+            hyps_asserted: 0,
+            hyps_used: 0,
         }
     }
 }
@@ -235,6 +252,25 @@ impl KrateReport {
     pub fn time_tree(&self) -> TimeTree {
         self.total_phases().to_tree()
     }
+
+    /// All diagnostics, in function order.
+    pub fn diagnostics(&self) -> Vec<&Diagnostic> {
+        self.functions
+            .iter()
+            .flat_map(|f| f.diagnostics.iter())
+            .collect()
+    }
+
+    /// Context-pruning effectiveness: `(hypotheses asserted, hypotheses
+    /// used)` summed over all `Unsat` (verified) queries. The ratio is the
+    /// measured counterpart of the paper's §3.1 pruning claim — how much of
+    /// the shipped context the proofs actually touched.
+    pub fn hypothesis_usage(&self) -> (usize, usize) {
+        self.functions
+            .iter()
+            .filter(|f| f.status.is_verified() && f.hyps_used > 0)
+            .fold((0, 0), |(a, u), f| (a + f.hyps_asserted, u + f.hyps_used))
+    }
 }
 
 /// Verify one function by name.
@@ -272,9 +308,9 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
     };
     time(&mut phases.encode, || {
         for m in &visible {
-            for ax in &m.axioms {
+            for (i, ax) in m.axioms.iter().enumerate() {
                 let t = ctx.encode_expr(&mut solver, ax, &empty);
-                solver.assert(t);
+                solver.assert_labeled(t, &format!("axiom:{}#{i}", m.name));
             }
         }
         // Non-pruning styles additionally pull in every spec function (and
@@ -289,18 +325,42 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
                 ctx.ensure_spec_fn(&mut solver, &n);
             }
         }
-        // Encode and negate the VC.
-        let vc_term = ctx.encode_expr(&mut solver, &wp.vc, &empty);
+        // Assert the hypotheses (requires, parameter ranges) and the
+        // loop-invariant markers as *labeled* formulas, then the negated
+        // goal — each behind a selector literal, so an `Unsat` answer
+        // comes back with the provenance set the refutation used.
+        for (label, h) in &wp.hypotheses {
+            let t = ctx.encode_expr(&mut solver, h, &empty);
+            solver.assert_labeled(t, label);
+        }
+        for (marker, label) in &wp.inv_markers {
+            let t = ctx.encode_expr(&mut solver, &var(marker, Ty::Bool), &empty);
+            solver.assert_labeled(t, label);
+        }
+        let goal_term = ctx.encode_expr(&mut solver, &wp.goal, &empty);
         ctx.flush_axioms(&mut solver);
-        let goal = wrap_goal(&mut solver, vc_term, cfg.style);
+        let goal = wrap_goal(&mut solver, goal_term, cfg.style);
         let neg = solver.store.mk_not(goal);
-        solver.assert(neg);
+        solver.assert_labeled(neg, "goal");
         inject_style_noise(&mut solver, cfg.style, &wp.assigns);
     });
     let result = time(&mut phases.smt_run, || solver.check());
+    let hyps_asserted = solver.hypothesis_labels().len();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut hyps_used = 0;
     let mut status = match result {
-        SmtResult::Unsat => Status::Verified,
-        SmtResult::Sat(model) => Status::Failed(render_counterexample(&solver, &model)),
+        SmtResult::Unsat => {
+            if let Some(core) = solver.unsat_core() {
+                hyps_used = core.len();
+                diagnostics.extend(core_diagnostics(fname, &solver, core));
+            }
+            Status::Verified
+        }
+        SmtResult::Sat(model) => {
+            let srcmap = SourceMap::for_krate(krate);
+            diagnostics.push(counterexample_diag(fname, &ctx, &solver, &model, &srcmap));
+            Status::Failed(render_counterexample(&solver, &model))
+        }
         SmtResult::Unknown(r) => Status::Unknown(r),
     };
     // Side obligations via custom provers.
@@ -344,7 +404,102 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
         meter: meter.snapshot(),
         phases,
         profile: solver.profile().clone(),
+        diagnostics,
+        hyps_asserted,
+        hyps_used,
     }
+}
+
+/// Diagnostics derived from an unsat core: the used-hypothesis set, plus
+/// an unused-precondition/invariant lint when a user-written hypothesis
+/// (a `requires` clause or a loop invariant) never participated in the
+/// refutation.
+fn core_diagnostics(fname: &str, solver: &Solver, core: &[String]) -> Vec<Diagnostic> {
+    let all = solver.hypothesis_labels();
+    let mut out = Vec::new();
+    out.push(
+        Diagnostic::new(
+            Severity::Note,
+            "unsat-core",
+            fname,
+            format!(
+                "proof used {} of {} labeled hypotheses",
+                core.len(),
+                all.len()
+            ),
+        )
+        .with_items(core.iter().map(|l| DiagItem::new(l.clone(), "")).collect()),
+    );
+    let unused: Vec<&String> = all
+        .iter()
+        .filter(|l| {
+            (l.starts_with("requires#") || l.starts_with("invariant#")) && !core.contains(l)
+        })
+        .collect();
+    if !unused.is_empty() {
+        out.push(
+            Diagnostic::new(
+                Severity::Warning,
+                "unused-hypothesis",
+                fname,
+                format!(
+                    "{} user-written hypothes{} never used by the proof",
+                    unused.len(),
+                    if unused.len() == 1 { "is" } else { "es" }
+                ),
+            )
+            .with_items(
+                unused
+                    .iter()
+                    .map(|l| DiagItem::new((*l).clone(), ""))
+                    .collect(),
+            ),
+        );
+    }
+    out
+}
+
+/// Build the counterexample diagnostic: model values joined back through
+/// the VC symbol table to VIR-level names, with virtual source locations.
+fn counterexample_diag(
+    fname: &str,
+    ctx: &EncCtx,
+    solver: &Solver,
+    model: &Model,
+    srcmap: &SourceMap,
+) -> Diagnostic {
+    let mut items = Vec::new();
+    for (name, t) in ctx.symbol_table() {
+        // wp-internal fresh variables (`x!3`) and invariant markers
+        // (`loop!1#inv0`) are not source-level names.
+        if name.contains('!') || name.contains('<') {
+            continue;
+        }
+        let value = match solver.store.sort_of(t) {
+            s if s == solver.store.bool_sort() => model.bools.get(&t).map(|b| b.to_string()),
+            _ => model.ints.get(&t).map(|v| v.to_string()),
+        };
+        if let Some(v) = value {
+            let mut item = DiagItem::new(name.clone(), v);
+            if let Some(loc) = srcmap.param_loc(fname, &name) {
+                item = item.with_loc(loc.to_string());
+            }
+            items.push(item);
+        }
+    }
+    let headline = if model.validated {
+        "contract does not hold; the bindings below are a validated counterexample"
+    } else if model.maybe_spurious {
+        "contract may not hold; candidate counterexample could not be validated"
+    } else {
+        "contract does not hold; counterexample bindings below"
+    };
+    let severity = if model.validated || !model.maybe_spurious {
+        Severity::Error
+    } else {
+        Severity::Warning
+    };
+    Diagnostic::new(severity, "counterexample", fname, headline).with_items(items)
 }
 
 /// Verify all non-trusted functions with bodies, optionally in parallel

@@ -37,8 +37,21 @@ pub struct AssignEvent {
 /// Output of WP generation for one function.
 #[derive(Clone, Debug)]
 pub struct WpResult {
-    /// The main VC: valid iff the function meets its contract.
+    /// The main VC: valid iff the function meets its contract. Always equal
+    /// to `and(hypotheses) ==> goal`; kept combined for callers that assert
+    /// the VC as one formula.
     pub vc: Expr,
+    /// Top-level hypotheses with provenance labels (parameter type ranges,
+    /// `requires` clauses), in assertion order.
+    pub hypotheses: Vec<(String, Expr)>,
+    /// The obligation under the hypotheses.
+    pub goal: Expr,
+    /// Loop-invariant provenance markers: `(marker_var, label)`. Each marker
+    /// is a free boolean variable guarding one invariant's *assumption*
+    /// occurrences inside `goal` (as `marker ==> inv`); asserting the marker
+    /// true recovers the original VC, and an unsat core that omits the
+    /// marker proves the invariant assumption was never used.
+    pub inv_markers: Vec<(String, String)>,
     pub side_obligations: Vec<SideObligation>,
     pub assigns: Vec<AssignEvent>,
     /// Names of spec functions called anywhere in the VC (for pruning).
@@ -51,6 +64,7 @@ pub struct WpCtx<'a> {
     exec: bool,
     side_obligations: Vec<SideObligation>,
     assigns: Vec<AssignEvent>,
+    inv_markers: Vec<(String, String)>,
 }
 
 impl<'a> WpCtx<'a> {
@@ -61,6 +75,7 @@ impl<'a> WpCtx<'a> {
             exec: false,
             side_obligations: Vec::new(),
             assigns: Vec::new(),
+            inv_markers: Vec::new(),
         }
     }
 
@@ -101,20 +116,42 @@ impl<'a> WpCtx<'a> {
             }
             FnBody::Abstract => tru(),
         };
-        // Hypotheses: requires + parameter type ranges.
-        let mut hyps: Vec<Expr> = Vec::new();
+        // Hypotheses: requires + parameter type ranges, each carrying a
+        // provenance label for unsat-core reporting.
+        let mut hyps: Vec<(String, Expr)> = Vec::new();
         for p in &f.params {
             if let Some(r) = range_condition(&var(&p.name, p.ty.clone()), &p.ty) {
-                hyps.push(r);
+                hyps.push((format!("param-range:{}", p.name), r));
             }
         }
-        hyps.extend(f.requires.iter().cloned());
-        let vc = and_all(hyps).implies(vc);
+        for (i, r) in f.requires.iter().enumerate() {
+            hyps.push((format!("requires#{i}: {}", clip(&r.to_string())), r.clone()));
+        }
         // `old(x)` at function entry is just `x`.
-        let vc = resolve_old(&vc);
+        let goal = resolve_old(&vc);
+        let hyps: Vec<(String, Expr)> = hyps
+            .into_iter()
+            .map(|(l, h)| (l, resolve_old(&h)))
+            .collect();
+        // The combined compat VC must stand alone, so close the invariant
+        // markers (substitute true), recovering the unguarded form.
+        let goal_closed = if self.inv_markers.is_empty() {
+            goal.clone()
+        } else {
+            let m: HashMap<String, Expr> = self
+                .inv_markers
+                .iter()
+                .map(|(name, _)| (name.clone(), tru()))
+                .collect();
+            veris_vir::expr::subst_vars(&goal, &m)
+        };
+        let vc = and_all(hyps.iter().map(|(_, h)| h.clone()).collect()).implies(goal_closed);
         let called = called_spec_functions(self.krate, &vc);
         WpResult {
             vc,
+            hypotheses: hyps,
+            goal,
+            inv_markers: self.inv_markers,
             side_obligations: self.side_obligations,
             assigns: self.assigns,
             called_specs: called,
@@ -215,6 +252,23 @@ impl<'a> WpCtx<'a> {
                     }
                 }
                 let inv_h = veris_vir::expr::subst_vars(&inv, &havoc);
+                // Assumption occurrences of each invariant are guarded by a
+                // fresh marker variable (`marker ==> inv`). The verifier
+                // asserts every marker true (recovering the original VC) as
+                // a *labeled* hypothesis, so the unsat core tells us which
+                // invariant assumptions the proof actually used.
+                let loop_tag = self.fresh_name("loop");
+                let mut guarded: Vec<Expr> = Vec::new();
+                for (i, iv) in invariants.iter().enumerate() {
+                    let iv_h = veris_vir::expr::subst_vars(iv, &havoc);
+                    let marker = format!("{loop_tag}#inv{i}");
+                    self.inv_markers.push((
+                        marker.clone(),
+                        format!("invariant#{i}@{loop_tag}: {}", clip(&iv.to_string())),
+                    ));
+                    guarded.push(var(&marker, Ty::Bool).implies(iv_h));
+                }
+                let inv_h_asm = and_all(guarded);
                 let cond_h = veris_vir::expr::subst_vars(cond, &havoc);
                 let body_h: Vec<Stmt> = body.iter().map(|s| subst_stmt(s, &havoc)).collect();
                 // Ranges of havocked machine-typed vars are assumed.
@@ -253,13 +307,13 @@ impl<'a> WpCtx<'a> {
                 let wp_body = self.wp_stmts(&body_h, 0, &post_loop, ret_post);
                 let preserve = havoc_range
                     .clone()
-                    .and(inv_h.clone())
+                    .and(inv_h_asm.clone())
                     .and(cond_h.clone())
                     .and(dec_pre)
                     .implies(self.wf(&cond_h).and(wp_body));
                 // Exit: invariant and negated condition give the rest.
                 let cont_h = veris_vir::expr::subst_vars(&cont, &havoc);
-                let exit = havoc_range.and(inv_h).and(cond_h.not()).implies(cont_h);
+                let exit = havoc_range.and(inv_h_asm).and(cond_h.not()).implies(cont_h);
                 entry.and(preserve).and(exit)
             }
             Stmt::Call { func, args, dest } => {
@@ -418,6 +472,17 @@ impl<'a> WpCtx<'a> {
 /// needed — this function documents the intent.
 fn math_expr(e: &Expr) -> Expr {
     e.clone()
+}
+
+/// Clip a rendered expression for use inside a provenance label.
+fn clip(s: &str) -> String {
+    const MAX: usize = 60;
+    if s.chars().count() <= MAX {
+        s.to_owned()
+    } else {
+        let head: String = s.chars().take(MAX).collect();
+        format!("{head}…")
+    }
 }
 
 /// Type-range condition `lo <= e <= hi` for machine-typed values.

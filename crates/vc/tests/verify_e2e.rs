@@ -534,15 +534,26 @@ fn exists_witness() {
     ))]);
     let k = Krate::new().module(Module::new("m").func(f));
     // Proving an existential requires the solver to find a witness — our
-    // e-matching cannot. The model backing any Failed here is spurious
-    // (quantifiers unsaturated), so the report must say "possible", never a
-    // definite refutation. Pins current behaviour: a future witness-finding
-    // improvement should flip this to Verified.
+    // e-matching cannot, so the candidate model survives with the
+    // quantifier unevaluated. Model validation marks it unprovable-but-
+    // unrefuted: a Failed verdict hedged as "possible", never a definite
+    // refutation. A future witness-finding improvement flips this to
+    // Verified.
     let r = verify_function(&k, "has_big", &cfg());
-    match r.status {
-        Status::Verified | Status::Unknown(_) => {}
-        Status::Failed(msg) => assert!(msg.contains("possible"), "{msg}"),
-    }
+    let Status::Failed(msg) = &r.status else {
+        panic!("expected hedged Failed, got {:?}", r.status);
+    };
+    assert!(msg.contains("possible"), "{msg}");
+    let ce = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "counterexample")
+        .expect("counterexample diagnostic present");
+    assert!(
+        ce.message.contains("could not be validated"),
+        "spurious-model hedge in diagnostic: {}",
+        ce.message
+    );
 }
 
 #[test]

@@ -146,6 +146,134 @@ pub fn count_krate(k: &Krate) -> LineCounts {
     lc
 }
 
+// ---------------------------------------------------------------------
+// Virtual source locations
+// ---------------------------------------------------------------------
+
+/// A source location in the virtual rendering of a VIR module.
+///
+/// VIR has no physical source files; locations are assigned against the
+/// same deterministic pretty-printed layout that [`count_module`] uses for
+/// line accounting, so `list.vir:7` always names the same declaration for
+/// the same krate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SrcLoc {
+    pub file: String,
+    pub line: u32,
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// Locations of one function's declaration and contract clauses.
+#[derive(Clone, Debug)]
+pub struct FnLocs {
+    /// The `fn name(` header line.
+    pub decl: SrcLoc,
+    /// One location per parameter (rustfmt-style one-per-line signature).
+    pub params: Vec<(String, SrcLoc)>,
+    /// One location per `requires` clause, in declaration order.
+    pub requires: Vec<SrcLoc>,
+    /// One location per `ensures` clause, in declaration order.
+    pub ensures: Vec<SrcLoc>,
+}
+
+/// Krate-wide map from function names to virtual source locations.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    fns: std::collections::BTreeMap<String, FnLocs>,
+}
+
+impl SourceMap {
+    /// Build the map by laying out each module as `{module}.vir`:
+    /// datatypes, then axioms, then functions, in declaration order.
+    pub fn for_krate(k: &Krate) -> SourceMap {
+        let mut fns = std::collections::BTreeMap::new();
+        for m in &k.modules {
+            let file = format!("{}.vir", m.name);
+            let mut line: u32 = 1;
+            for d in &m.datatypes {
+                let fields: usize = d.variants.iter().map(|(_, fs)| fs.len() + 1).sum();
+                line += (2 + fields) as u32;
+            }
+            for a in &m.axioms {
+                line += expr_lines(a) as u32;
+            }
+            for f in &m.functions {
+                let decl = SrcLoc {
+                    file: file.clone(),
+                    line,
+                };
+                line += 1; // `fn name(`
+                let mut params = Vec::new();
+                for p in &f.params {
+                    params.push((
+                        p.name.clone(),
+                        SrcLoc {
+                            file: file.clone(),
+                            line,
+                        },
+                    ));
+                    line += 1;
+                }
+                line += 1; // `)`
+                let mut requires = Vec::new();
+                for r in &f.requires {
+                    requires.push(SrcLoc {
+                        file: file.clone(),
+                        line,
+                    });
+                    line += expr_lines(r) as u32;
+                }
+                let mut ensures = Vec::new();
+                for e in &f.ensures {
+                    ensures.push(SrcLoc {
+                        file: file.clone(),
+                        line,
+                    });
+                    line += expr_lines(e) as u32;
+                }
+                if let Some(d) = &f.decreases {
+                    line += expr_lines(d) as u32;
+                }
+                let (c, p) = match &f.body {
+                    FnBody::SpecExpr(e) => (0, expr_lines(e)),
+                    FnBody::Stmts(ss) => stmts_lines(ss),
+                    FnBody::Abstract => (0, 0),
+                };
+                line += (c + p) as u32 + 1; // body + closing brace
+                fns.insert(
+                    f.name.clone(),
+                    FnLocs {
+                        decl,
+                        params,
+                        requires,
+                        ensures,
+                    },
+                );
+            }
+        }
+        SourceMap { fns }
+    }
+
+    pub fn function(&self, name: &str) -> Option<&FnLocs> {
+        self.fns.get(name)
+    }
+
+    /// Location of a parameter of a function, if known.
+    pub fn param_loc(&self, function: &str, param: &str) -> Option<&SrcLoc> {
+        self.fns
+            .get(function)?
+            .params
+            .iter()
+            .find(|(n, _)| n == param)
+            .map(|(_, l)| l)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +308,33 @@ mod tests {
         assert!(lc.trusted > 0);
         assert_eq!(lc.code, 0);
         assert_eq!(lc.proof, 0);
+    }
+
+    #[test]
+    fn source_map_assigns_distinct_deterministic_locations() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Exec)
+            .param("x", Ty::Int)
+            .param("hi", Ty::Int)
+            .requires(x.ge(int(0)))
+            .ensures(x.ge(int(0)))
+            .stmts(vec![Stmt::ret(x.clone())]);
+        let k = crate::module::Krate::new().module(crate::module::Module::new("m").func(f));
+        let sm = SourceMap::for_krate(&k);
+        let fl = sm.function("f").expect("f mapped");
+        assert_eq!(fl.decl.file, "m.vir");
+        let px = sm.param_loc("f", "x").expect("x loc");
+        let ph = sm.param_loc("f", "hi").expect("hi loc");
+        assert_ne!(px.line, ph.line, "params get distinct lines");
+        assert_eq!(fl.requires.len(), 1);
+        assert_eq!(fl.ensures.len(), 1);
+        assert!(fl.requires[0].line < fl.ensures[0].line);
+        // Deterministic: rebuilding gives identical locations.
+        let sm2 = SourceMap::for_krate(&k);
+        assert_eq!(
+            format!("{px}"),
+            format!("{}", sm2.param_loc("f", "x").unwrap())
+        );
     }
 
     #[test]
