@@ -26,11 +26,12 @@ struct Opts {
     top: usize,
     threads: usize,
     json: bool,
+    cache: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: profile <{}> [--rlimit N] [--top K] [--threads N] [--json]",
+        "usage: profile <{}> [--rlimit N] [--top K] [--threads N] [--json] [--cache [DIR]|--no-cache]",
         casestudy::NAMES.join("|")
     );
     std::process::exit(2);
@@ -43,8 +44,9 @@ fn parse_opts() -> Opts {
         top: 10,
         threads: 1,
         json: false,
+        cache: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--rlimit" => match args.next().and_then(|v| v.parse().ok()) {
@@ -60,6 +62,14 @@ fn parse_opts() -> Opts {
                 None => usage(),
             },
             "--json" => opts.json = true,
+            "--cache" => {
+                let dir = match args.peek() {
+                    Some(next) if !next.starts_with('-') => args.next().unwrap(),
+                    _ => String::from(".veris-cache"),
+                };
+                opts.cache = Some(std::path::PathBuf::from(dir));
+            }
+            "--no-cache" => opts.cache = None,
             "--help" | "-h" => usage(),
             name if opts.system.is_empty() && !name.starts_with('-') => {
                 opts.system = name.to_owned();
@@ -73,13 +83,19 @@ fn parse_opts() -> Opts {
     opts
 }
 
-fn config(rlimit: Option<u64>) -> VcConfig {
+fn config(opts: &Opts) -> VcConfig {
     let mut cfg = veris_idioms::config_with_provers();
     cfg.style = Style::Verus;
     cfg.timeout = Duration::from_secs(20);
     cfg.max_quant_rounds = Some(8);
-    if let Some(n) = rlimit {
+    if let Some(n) = opts.rlimit {
         cfg = cfg.with_rlimit(n);
+    }
+    if let Some(dir) = &opts.cache {
+        cfg = cfg.with_cache_dir(dir.clone());
+    }
+    if let Some(weights) = veris_bench::baseline::module_weights_for(&opts.system) {
+        cfg = cfg.with_module_weights(weights);
     }
     cfg
 }
@@ -90,7 +106,7 @@ fn main() {
         eprintln!("unknown system `{}`", opts.system);
         usage();
     };
-    let cfg = config(opts.rlimit);
+    let cfg = config(&opts);
     let report = verify_krate(&krate, &cfg, opts.threads);
 
     if opts.json {
@@ -99,23 +115,25 @@ fn main() {
             .iter()
             .map(|f| {
                 format!(
-                    "{{\"name\":{:?},\"status\":{:?},\"time_ms\":{},\"rlimit_spent\":{},\"meter\":{}}}",
+                    "{{\"name\":{:?},\"status\":{:?},\"time_ms\":{},\"rlimit_spent\":{},\"cache_hit\":{},\"meter\":{}}}",
                     f.name,
                     format!("{:?}", f.status),
                     f.time.as_millis(),
                     f.rlimit_spent(),
+                    f.cache_hit,
                     f.meter.to_json()
                 )
             })
             .collect();
         println!(
-            "{{\"schema_version\":{},\"system\":{:?},\"rlimit\":{},\"time\":{},\"meter\":{},\"quantifiers\":{},\"functions\":[{}]}}",
+            "{{\"schema_version\":{},\"system\":{:?},\"rlimit\":{},\"time\":{},\"meter\":{},\"quantifiers\":{},\"sessions\":{},\"functions\":[{}]}}",
             veris_bench::explain::SCHEMA_VERSION,
             opts.system,
             opts.rlimit.map_or("null".into(), |n| n.to_string()),
             report.time_tree().to_json(),
             report.total_meter().to_json(),
             report.merged_profile().to_json(),
+            report.sessions.to_json(),
             fns.join(",")
         );
         return;
@@ -132,6 +150,14 @@ fn main() {
         println!("rlimit: {n} units per function");
     }
     println!("\n-- phase times --\n{}", report.time_tree().render());
+    println!("-- incremental sessions --\n{}", report.sessions.render());
+    if let Some(dir) = &opts.cache {
+        let (entries, bytes) = veris_vc::cache::stats(dir);
+        println!(
+            "cache at {}: {entries} entries, {bytes} bytes\n",
+            dir.display()
+        );
+    }
     println!("-- resource counters --\n{}", report.total_meter().render());
     let profile = report.merged_profile();
     if profile.is_empty() {
@@ -146,7 +172,7 @@ fn main() {
     println!("-- per-function --");
     for f in &report.functions {
         println!(
-            "{:<40} {:>10} {:>8.2}s {:>9} units",
+            "{:<40} {:>10} {:>8.2}s {:>9} units{}",
             f.name,
             match &f.status {
                 veris_vc::Status::Verified => "verified".to_owned(),
@@ -156,7 +182,8 @@ fn main() {
                 veris_vc::Status::Unknown(_) => "unknown".to_owned(),
             },
             f.time.as_secs_f64(),
-            f.rlimit_spent()
+            f.rlimit_spent(),
+            if f.cache_hit { " (cached)" } else { "" }
         );
     }
     if !report.all_verified() {

@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use veris_vc::KrateReport;
+use veris_vc::{KrateReport, SessionStats};
 use veris_vir::loc::{count_krate, LineCounts};
 use veris_vir::Krate;
 
@@ -27,6 +27,10 @@ pub struct MacroRow {
     /// actually used (unsat-core membership) over the verified queries.
     pub hyps_asserted: usize,
     pub hyps_used: usize,
+    /// Incremental-verification counters from the 1-core run: module solver
+    /// sessions opened, context re-encodings avoided by push/pop reuse, and
+    /// result-cache hits/misses.
+    pub sessions: SessionStats,
     pub all_verified: bool,
 }
 
@@ -60,6 +64,7 @@ impl MacroRow {
             quant_insts: one_core.merged_profile().total_instantiations(),
             hyps_asserted,
             hyps_used,
+            sessions: one_core.sessions,
             all_verified: one_core.all_verified() && n_core.all_verified(),
         }
     }
@@ -92,7 +97,7 @@ impl MacroTable {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>5} {:>4}",
+            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>5} {:>5} {:>6} {:>5} {:>4}",
             "System",
             "trusted",
             "proof",
@@ -104,6 +109,9 @@ impl MacroTable {
             "rlimit",
             "qinst",
             "ctx%",
+            "sess",
+            "reuse",
+            "hits",
             "ok"
         );
         let mut total = LineCounts::default();
@@ -111,7 +119,7 @@ impl MacroTable {
             total.add(r.lines);
             let _ = writeln!(
                 out,
-                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4.0}% {:>4}",
+                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4.0}% {:>5} {:>6} {:>5} {:>4}",
                 r.system,
                 r.lines.trusted,
                 r.lines.proof,
@@ -123,6 +131,9 @@ impl MacroTable {
                 r.rlimit_spent,
                 r.quant_insts,
                 r.ctx_used_pct(),
+                r.sessions.sessions_opened,
+                r.sessions.ctx_reencodes_avoided,
+                r.sessions.cache_hits,
                 if r.all_verified { "yes" } else { "NO" },
             );
         }
@@ -164,5 +175,7 @@ mod tests {
         assert!(s.contains("P/C"));
         assert!(s.contains("rlimit"));
         assert!(s.contains("qinst"));
+        assert!(s.contains("sess"));
+        assert!(s.contains("reuse"));
     }
 }

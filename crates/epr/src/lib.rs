@@ -72,6 +72,7 @@ pub fn verify_epr_module(krate: &Krate, module_name: &str) -> EprReport {
         report: KrateReport {
             functions,
             wall_time: t0.elapsed(),
+            ..KrateReport::default()
         },
     }
 }

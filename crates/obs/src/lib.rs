@@ -18,6 +18,9 @@
 //! * [`diag`] — structured failure diagnostics ([`Diagnostic`]):
 //!   counterexamples, unsat cores, and unused-hypothesis lints with human
 //!   and JSONL emitters (the `explain` idiom).
+//! * [`session`] — incremental-verification counters ([`SessionStats`]):
+//!   module solver sessions opened, context re-encodings avoided, and
+//!   result-cache hits/misses, surfaced in reports and the macro table.
 //!
 //! The crate is a dependency leaf: pure `std`, no solver types, so every
 //! layer of the pipeline can use it without cycles.
@@ -25,9 +28,11 @@
 pub mod diag;
 pub mod meter;
 pub mod quant;
+pub mod session;
 pub mod trace;
 
 pub use diag::{json_escape, to_jsonl, DiagItem, Diagnostic, Severity};
 pub use meter::{Counter, MeterSnapshot, ResourceMeter};
 pub use quant::{QuantProfile, QuantStats};
+pub use session::SessionStats;
 pub use trace::{time, PhaseTimes, TimeTree};

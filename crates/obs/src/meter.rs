@@ -155,6 +155,21 @@ impl ResourceMeter {
         )
     }
 
+    /// Pre-charge the meter with a snapshot's counters. Used by module
+    /// sessions: the shared context is encoded once on an unlimited meter,
+    /// its cost captured in a snapshot, and each function's fresh limited
+    /// meter is then pre-charged with that snapshot — so the per-function
+    /// totals (and the deterministic rlimit trip points derived from them)
+    /// are identical to a fresh-solver run that re-encoded the context.
+    pub fn precharge(&self, snap: &MeterSnapshot) {
+        for c in COUNTERS {
+            let v = snap.get(c);
+            if v > 0 {
+                self.charge(c, v);
+            }
+        }
+    }
+
     /// Plain-value copy of the counters, for reports and equality checks.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
@@ -284,6 +299,20 @@ mod tests {
             m.exhaustion_message(),
             "resource limit exceeded (rlimit=5, spent=6 in euf)"
         );
+    }
+
+    #[test]
+    fn precharge_reproduces_context_cost() {
+        let ctx = ResourceMeter::new();
+        ctx.charge(Counter::SatPropagations, 7);
+        ctx.charge(Counter::EufMerges, 2);
+        let snap = ctx.snapshot();
+        let m = ResourceMeter::with_limit(Some(10));
+        m.precharge(&snap);
+        assert_eq!(m.spent(), 9);
+        assert_eq!(m.snapshot().sat_propagations, 7);
+        m.charge(Counter::SatConflicts, 2);
+        assert!(m.check("sat"), "pre-charged units count against the budget");
     }
 
     #[test]

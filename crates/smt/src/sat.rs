@@ -75,11 +75,52 @@ impl LBool {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct ClauseRef(u32);
 
+#[derive(Clone)]
 struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f32,
     deleted: bool,
+    /// Assertion depth this clause lives at. For input clauses: the number
+    /// of open [`SatSolver::push`] frames when it was added. For learnt
+    /// clauses: the derivation level — the maximum depth of any clause (or
+    /// root-assignment tag) its resolution proof rests on. A learnt clause
+    /// whose derivation level is at or below the depth remaining after a
+    /// `pop` is still entailed there and may be retained.
+    level: u32,
+}
+
+/// Snapshot of the complete mutable solver state, taken by
+/// [`SatSolver::push`] and restored wholesale by [`SatSolver::pop`].
+///
+/// A full snapshot (rather than watermark-based trimming) guarantees that a
+/// popped solver is *bit-identical* to its state at push time — including
+/// VSIDS activities, saved phases, the in-place literal permutations the
+/// two-watched-literal scheme applies to clause bodies, and the search
+/// counters — so a check run inside a frame is byte-for-byte identical to
+/// the same check run on a fresh solver with the same prefix of operations.
+struct SatFrame {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<LBool>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<BVar>,
+    heap_index: Vec<i32>,
+    clause_inc: f32,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    root_conflict: bool,
+    conflict_core: Vec<Lit>,
+    root_tag: Vec<u32>,
 }
 
 /// Outcome of a solve call.
@@ -152,6 +193,20 @@ pub struct SatSolver {
     conflict_core: Vec<Lit>,
     /// Optional resource meter; charged during search when present.
     meter: Option<Arc<ResourceMeter>>,
+    /// Open assertion frames (see [`SatSolver::push`]).
+    frames: Vec<SatFrame>,
+    /// Per-variable derivation tag for root-level (level-0) assignments:
+    /// the assertion depth the root fact was derived at. Consulted when a
+    /// learnt clause's resolution proof eliminates a root-assigned literal,
+    /// so the clause's derivation level accounts for root facts that came
+    /// from clauses above the retained depth.
+    root_tag: Vec<u32>,
+    /// When set, [`SatSolver::pop`] re-adds learnt clauses whose derivation
+    /// level lies at or below the remaining depth instead of discarding
+    /// them. Off by default: retention changes the subsequent search
+    /// trajectory relative to a fresh solver, which the VC layer's
+    /// byte-identical-replay guarantee forbids (see DESIGN.md).
+    retain_learned: bool,
 }
 
 impl Default for SatSolver {
@@ -184,12 +239,147 @@ impl SatSolver {
             root_conflict: false,
             conflict_core: Vec::new(),
             meter: None,
+            frames: Vec::new(),
+            root_tag: Vec::new(),
+            retain_learned: false,
         }
     }
 
     /// Attach a resource meter; search work is charged to it from now on.
     pub fn set_meter(&mut self, meter: Arc<ResourceMeter>) {
         self.meter = Some(meter);
+    }
+
+    /// Enable or disable learnt-clause retention across [`SatSolver::pop`].
+    pub fn set_retain_learned(&mut self, on: bool) {
+        self.retain_learned = on;
+    }
+
+    /// Number of open assertion frames.
+    pub fn depth(&self) -> u32 {
+        self.frames.len() as u32
+    }
+
+    /// Open an assertion frame: snapshot the complete solver state. A later
+    /// [`SatSolver::pop`] restores it exactly, so anything added or learnt
+    /// in between leaves no trace (unless retention is enabled, which
+    /// re-adds learnt clauses provably derived below the popped frame).
+    pub fn push(&mut self) {
+        self.frames.push(SatFrame {
+            num_vars: self.num_vars,
+            clauses: self.clauses.clone(),
+            watches: self.watches.clone(),
+            assign: self.assign.clone(),
+            phase: self.phase.clone(),
+            level: self.level.clone(),
+            reason: self.reason.clone(),
+            trail: self.trail.clone(),
+            trail_lim: self.trail_lim.clone(),
+            qhead: self.qhead,
+            activity: self.activity.clone(),
+            var_inc: self.var_inc,
+            heap: self.heap.clone(),
+            heap_index: self.heap_index.clone(),
+            clause_inc: self.clause_inc,
+            conflicts: self.conflicts,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            root_conflict: self.root_conflict,
+            conflict_core: self.conflict_core.clone(),
+            root_tag: self.root_tag.clone(),
+        });
+    }
+
+    /// Close the innermost assertion frame, restoring the exact state at
+    /// the matching [`SatSolver::push`]. With retention enabled, learnt
+    /// clauses (and root-derived unit facts) whose derivation level is at
+    /// or below the remaining depth are re-added afterwards — they are
+    /// consequences of the surviving clause set alone.
+    ///
+    /// # Panics
+    /// Panics if no frame is open.
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        let depth = self.frames.len() as u32;
+        let mut kept_clauses: Vec<(Vec<Lit>, u32)> = Vec::new();
+        let mut kept_units: Vec<(Lit, u32)> = Vec::new();
+        if self.retain_learned {
+            for c in &self.clauses[frame.clauses.len()..] {
+                if c.learnt && !c.deleted && c.level <= depth {
+                    let mut lits = c.lits.clone();
+                    lits.sort_unstable();
+                    kept_clauses.push((lits, c.level));
+                }
+            }
+            // Root-assigned facts (learnt units and their propagation
+            // closure) derived below the popped frame.
+            for &l in &self.trail {
+                let v = l.var().0 as usize;
+                if self.level[v] == 0
+                    && l.var().0 < frame.num_vars
+                    && frame.assign[v] == LBool::Undef
+                    && self.root_tag[v] <= depth
+                {
+                    kept_units.push((l, self.root_tag[v]));
+                }
+            }
+        }
+        self.num_vars = frame.num_vars;
+        self.clauses = frame.clauses;
+        self.watches = frame.watches;
+        self.assign = frame.assign;
+        self.phase = frame.phase;
+        self.level = frame.level;
+        self.reason = frame.reason;
+        self.trail = frame.trail;
+        self.trail_lim = frame.trail_lim;
+        self.qhead = frame.qhead;
+        self.activity = frame.activity;
+        self.var_inc = frame.var_inc;
+        self.heap = frame.heap;
+        self.heap_index = frame.heap_index;
+        self.clause_inc = frame.clause_inc;
+        self.conflicts = frame.conflicts;
+        self.decisions = frame.decisions;
+        self.propagations = frame.propagations;
+        self.root_conflict = frame.root_conflict;
+        self.conflict_core = frame.conflict_core;
+        self.root_tag = frame.root_tag;
+        for (l, tag) in kept_units {
+            self.readd_retained(vec![l], tag);
+        }
+        for (lits, level) in kept_clauses {
+            self.readd_retained(lits, level);
+        }
+    }
+
+    /// Re-add a retained learnt clause after a pop. The literals are
+    /// already normalized (sorted, deduped, tautology-free); only the
+    /// root-assignment filtering has to be redone against the restored
+    /// state.
+    fn readd_retained(&mut self, mut lits: Vec<Lit>, level: u32) {
+        if self.root_conflict {
+            return;
+        }
+        self.backtrack_to(0);
+        if lits.iter().any(|&l| self.value(l) == LBool::True) {
+            return;
+        }
+        lits.retain(|&l| self.value(l) != LBool::False);
+        match lits.len() {
+            0 => self.root_conflict = true,
+            1 => {
+                self.enqueue(lits[0], None);
+                self.root_tag[lits[0].var().0 as usize] = level;
+                if self.propagate().is_some() {
+                    self.root_conflict = true;
+                }
+            }
+            _ => {
+                let cref = self.attach_clause(lits, true);
+                self.clauses[cref.0 as usize].level = level;
+            }
+        }
     }
 
     pub fn new_var(&mut self) -> BVar {
@@ -203,6 +393,7 @@ impl SatSolver {
         self.reason.push(None);
         self.activity.push(0.0);
         self.heap_index.push(-1);
+        self.root_tag.push(self.frames.len() as u32);
         self.heap_insert(v);
         v
     }
@@ -269,6 +460,7 @@ impl SatSolver {
                 }
                 if self.value(lits[0]) == LBool::Undef {
                     self.enqueue(lits[0], None);
+                    self.root_tag[lits[0].var().0 as usize] = self.frames.len() as u32;
                     if self.propagate().is_some() {
                         self.root_conflict = true;
                         return false;
@@ -293,6 +485,7 @@ impl SatSolver {
             learnt,
             activity: 0.0,
             deleted: false,
+            level: self.frames.len() as u32,
         });
         cref
     }
@@ -304,6 +497,22 @@ impl SatSolver {
         self.phase[v] = !l.is_neg();
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
+        if self.decision_level() == 0 {
+            // Root assignment: tag it with the depth it was derived at, so
+            // retention can tell surviving root facts from popped ones.
+            if let Some(cref) = reason {
+                let c = &self.clauses[cref.0 as usize];
+                let mut tag = c.level;
+                for &q in &c.lits {
+                    if q.var() != l.var() {
+                        tag = tag.max(self.root_tag[q.var().0 as usize]);
+                    }
+                }
+                self.root_tag[v] = tag;
+            }
+            // `reason == None` at level 0 is a unit clause or a learnt
+            // unit; those callers set the tag themselves.
+        }
         self.trail.push(l);
     }
 
@@ -379,16 +588,22 @@ impl SatSolver {
         None
     }
 
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// First-UIP conflict analysis. Returns the learnt clause, the backjump
+    /// level, and the clause's *derivation level*: the maximum assertion
+    /// depth of any clause its resolution proof used (root-assigned
+    /// literals contribute their [`SatSolver::root_tag`]).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
         let mut seen = vec![false; self.num_vars as usize];
         let mut counter = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut cref = conflict;
+        let mut deriv = 0u32;
         loop {
             {
                 self.bump_clause(cref);
+                deriv = deriv.max(self.clauses[cref.0 as usize].level);
                 let clause = &self.clauses[cref.0 as usize];
                 let start = if p.is_some() { 1 } else { 0 };
                 let lits: Vec<Lit> = clause.lits[start..].to_vec();
@@ -402,6 +617,10 @@ impl SatSolver {
                         } else {
                             learnt.push(q);
                         }
+                    } else if self.level[v] == 0 {
+                        // Root literal resolved away: its derivation depth
+                        // is part of this clause's provenance.
+                        deriv = deriv.max(self.root_tag[v]);
                     }
                 }
             }
@@ -429,6 +648,22 @@ impl SatSolver {
             .enumerate()
             .map(|(i, &l)| i == 0 || !self.redundant(l, &seen_set(&learnt)))
             .collect();
+        // A minimized-away literal's reason clause joins the proof: fold
+        // its depth (and its root literals' tags) into the derivation.
+        for (&l, &k) in learnt.iter().zip(&keep) {
+            if k {
+                continue;
+            }
+            if let Some(cref) = self.reason[l.var().0 as usize] {
+                deriv = deriv.max(self.clauses[cref.0 as usize].level);
+                for &q in &self.clauses[cref.0 as usize].lits[1..] {
+                    let v = q.var().0 as usize;
+                    if self.level[v] == 0 {
+                        deriv = deriv.max(self.root_tag[v]);
+                    }
+                }
+            }
+        }
         let learnt: Vec<Lit> = learnt
             .into_iter()
             .zip(keep)
@@ -440,7 +675,7 @@ impl SatSolver {
             .map(|l| self.level[l.var().0 as usize])
             .max()
             .unwrap_or(0);
-        (learnt, bt)
+        (learnt, bt, deriv)
     }
 
     /// Is `l` implied by the other literals in the learnt clause (one step)?
@@ -651,12 +886,16 @@ impl SatSolver {
                         }
                     }
                 }
-                let (learnt, bt) = self.analyze(conflict);
+                let (learnt, bt, deriv) = self.analyze(conflict);
                 self.backtrack_to(bt);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
+                    if self.decision_level() == 0 {
+                        self.root_tag[learnt[0].var().0 as usize] = deriv;
+                    }
                 } else {
                     let cref = self.attach_clause(learnt.clone(), true);
+                    self.clauses[cref.0 as usize].level = deriv;
                     self.enqueue(learnt[0], Some(cref));
                 }
                 self.decay_var();
@@ -975,6 +1214,159 @@ mod tests {
         let mut core = s.core().to_vec();
         core.sort_unstable();
         assert_eq!(core, vec![lit(1), lit(-1)]);
+    }
+
+    #[test]
+    fn pop_removes_clauses_added_above() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        s.push();
+        s.add_clause(vec![lit(-1)]);
+        s.add_clause(vec![lit(-2)]);
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Unsat);
+        s.pop();
+        // The frame's units (and the root conflict) are gone.
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn pop_restores_vars_and_counters() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause(vec![lit(1), lit(2)]));
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        let (c0, d0, p0) = (s.conflicts, s.decisions, s.propagations);
+        s.push();
+        let v = s.new_var();
+        assert!(s.add_clause(vec![Lit::pos(v), lit(-1)]));
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        s.pop();
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!((s.conflicts, s.decisions, s.propagations), (c0, d0, p0));
+        // Solver still fully usable after the pop.
+        assert!(s.add_clause(vec![lit(-1)]));
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        assert_eq!(s.value_var(BVar(1)), LBool::True);
+    }
+
+    #[test]
+    fn nested_push_pop() {
+        let mut s = solver_with_vars(3);
+        assert!(s.add_clause(vec![lit(1), lit(2), lit(3)]));
+        s.push();
+        s.add_clause(vec![lit(-1)]);
+        s.push();
+        s.add_clause(vec![lit(-2)]);
+        s.add_clause(vec![lit(-3)]);
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Unsat);
+        s.pop();
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        s.pop();
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        assert_eq!(s.depth(), 0);
+    }
+
+    /// PHP(3,2) with a relaxation literal `r` in every clause: unsat under
+    /// the assumption `¬r`, and the search must pass through genuine
+    /// conflicts (so clauses get learnt) before concluding.
+    fn relaxed_pigeonhole() -> SatSolver {
+        let mut s = solver_with_vars(7);
+        let p = |i: u32, h: u32| lit((i * 2 + h + 1) as i32);
+        let r = lit(7);
+        for i in 0..3 {
+            assert!(s.add_clause(vec![p(i, 0), p(i, 1), r]));
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    assert!(s.add_clause(vec![p(i, h).negate(), p(j, h).negate(), r]));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pop_retains_learnts_derived_below() {
+        // All clauses live at depth 0; the search (and therefore all
+        // learning) happens inside a frame, so every learnt clause has
+        // derivation level 0 and survives the pop when retention is on.
+        let mut s = relaxed_pigeonhole();
+        s.set_retain_learned(true);
+        s.push();
+        let asm = [lit(-7)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        let learnt_in_frame = s.clauses.iter().filter(|c| c.learnt && !c.deleted).count();
+        assert!(learnt_in_frame > 0, "the PHP search must learn clauses");
+        s.pop();
+        // No units existed before the push, so every root fact and learnt
+        // clause present now was retained across the pop.
+        let learnt_after = s.clauses.iter().filter(|c| c.learnt && !c.deleted).count();
+        let root_facts_after = s
+            .trail
+            .iter()
+            .filter(|l| s.level[l.var().0 as usize] == 0)
+            .count();
+        assert!(
+            learnt_after + root_facts_after > 0,
+            "retention must preserve some fact derived inside the frame"
+        );
+        // Retained lemmas are consequences: verdicts are unchanged.
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        assert_eq!(s.value(lit(7)), LBool::True);
+    }
+
+    #[test]
+    fn pop_without_retention_discards_learnts() {
+        let mut s = relaxed_pigeonhole();
+        s.push();
+        let asm = [lit(-7)];
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        let clauses_before_pop = s.clauses.len();
+        s.pop();
+        assert!(
+            s.clauses.len() <= clauses_before_pop,
+            "exact pop must not grow the clause database"
+        );
+        assert!(
+            s.clauses.iter().all(|c| !c.learnt),
+            "exact pop restores the pre-push clause set (no learnts yet)"
+        );
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &asm, |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn retained_learnt_unit_propagates() {
+        // (¬a∨b), (¬a∨¬b): no unit propagation at depth 0, but assuming
+        // `a` inside a frame conflicts and learns the root unit ¬a from
+        // depth-0 clauses only. After the pop the retained unit must be
+        // assigned at the root without any new search.
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause(vec![lit(-1), lit(2)]));
+        assert!(s.add_clause(vec![lit(-1), lit(-2)]));
+        s.set_retain_learned(true);
+        s.push();
+        assert_eq!(
+            s.solve_with_assumptions(SatLimits::default(), &[lit(1)], |_| FinalCheck::Consistent),
+            SatResult::Unsat
+        );
+        s.pop();
+        assert_eq!(s.value(lit(-1)), LBool::True, "retained unit is assigned");
+        assert_eq!(s.solve(SatLimits::default()), SatResult::Sat);
+        assert_eq!(s.value(lit(-1)), LBool::True);
     }
 
     #[test]

@@ -771,3 +771,115 @@ fn quantified_sat_flagged_not_validated() {
         other => panic!("expected flagged sat, got {other:?}"),
     }
 }
+
+// ----------------------------------------------------------------------
+// Assertion frames (push/pop) — the substrate of module sessions
+// ----------------------------------------------------------------------
+
+#[test]
+fn push_pop_restores_verdicts() {
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let one = s.store.mk_int(1);
+    let ge = s.store.mk_ge(x, one);
+    s.assert(ge);
+    assert_sat(&mut s);
+    s.push();
+    let zero = s.store.mk_int(0);
+    let le = s.store.mk_le(x, zero);
+    s.assert(le);
+    assert_unsat(&mut s);
+    s.pop();
+    // The frame's assertion is gone; the context alone is satisfiable.
+    assert_sat(&mut s);
+    assert_eq!(s.depth(), 0);
+}
+
+#[test]
+fn push_pop_restores_labeled_hypotheses_and_core() {
+    let mut s = solver();
+    let int = s.store.int_sort();
+    let x = s.store.mk_var("x", int);
+    let one = s.store.mk_int(1);
+    let ge = s.store.mk_ge(x, one);
+    s.assert_labeled(ge, "ctx:x_pos");
+    s.push();
+    let zero = s.store.mk_int(0);
+    let le = s.store.mk_le(x, zero);
+    s.assert_labeled(le, "frame:x_nonpos");
+    assert_unsat(&mut s);
+    let core = s.unsat_core().expect("core after unsat").to_vec();
+    assert!(core.contains(&"ctx:x_pos".to_string()));
+    assert!(core.contains(&"frame:x_nonpos".to_string()));
+    s.pop();
+    assert_eq!(s.hypothesis_labels(), vec!["ctx:x_pos".to_string()]);
+    assert_sat(&mut s);
+}
+
+#[test]
+fn push_pop_exact_replay_matches_fresh_solver() {
+    // A session solver (context, then frame A checked and popped, then
+    // frame B) must be indistinguishable from a fresh solver that encoded
+    // context + frame B directly: same term-store allocation, same SMT-LIB
+    // query bytes, same verdict, same unsat core, same search statistics.
+    let encode_ctx = |s: &mut Solver| {
+        let int = s.store.int_sort();
+        let f = s.store.declare_fun("f", vec![int], int);
+        let x = s.store.mk_var("x", int);
+        let y = s.store.mk_var("y", int);
+        let fx = s.store.mk_app(f, vec![x]);
+        let eq = s.store.mk_eq(fx, y);
+        s.assert_labeled(eq, "ctx:fx_eq_y");
+        let one = s.store.mk_int(1);
+        let ge = s.store.mk_ge(y, one);
+        s.assert_labeled(ge, "ctx:y_pos");
+        (f, x, y)
+    };
+    let encode_frame_b = |s: &mut Solver, f: veris_smt::FuncId, x: TermId, y: TermId| {
+        let z = s.store.mk_var("z", s.store.int_sort());
+        let eq_xz = s.store.mk_eq(x, z);
+        s.assert_labeled(eq_xz, "b:x_eq_z");
+        let fz = s.store.mk_app(f, vec![z]);
+        let zero = s.store.mk_int(0);
+        let le = s.store.mk_le(fz, zero);
+        let ne = s.store.mk_eq(fz, y);
+        let nne = s.store.mk_not(ne);
+        s.assert_labeled(nne, "b:fz_ne_y");
+        s.assert_labeled(le, "b:fz_nonpos");
+    };
+
+    let mut fresh = solver();
+    let (f, x, y) = encode_ctx(&mut fresh);
+    encode_frame_b(&mut fresh, f, x, y);
+    let fresh_result = fresh.check();
+
+    let mut session = solver();
+    let (f, x, y) = encode_ctx(&mut session);
+    session.push();
+    // Frame A: unrelated work that must leave no trace.
+    let w = session.store.mk_var("w", session.store.int_sort());
+    let ten = session.store.mk_int(10);
+    let gt = session.store.mk_gt(w, ten);
+    session.assert_labeled(gt, "a:w_big");
+    let _ = session.check();
+    session.pop();
+    session.push();
+    encode_frame_b(&mut session, f, x, y);
+    let session_result = session.check();
+
+    assert_eq!(
+        format!("{fresh_result:?}"),
+        format!("{session_result:?}"),
+        "verdicts must match"
+    );
+    assert_eq!(fresh.unsat_core(), session.unsat_core(), "cores must match");
+    assert_eq!(
+        fresh.query_size_bytes(),
+        session.query_size_bytes(),
+        "query bytes must match"
+    );
+    assert_eq!(fresh.store.num_terms(), session.store.num_terms());
+    assert_eq!(format!("{:?}", fresh.stats), format!("{:?}", session.stats));
+    assert_eq!(fresh.hypothesis_labels(), session.hypothesis_labels());
+}

@@ -10,8 +10,14 @@
 //! - [`style`] — the encoding-style axis (Verus vs Dafny/F*/Prusti/Creusot
 //!   mechanisms) used by the paper's comparative evaluation;
 //! - [`verify`] — the driver: per-function reports, crate-level parallel
-//!   verification, query-size metrics, and time-to-error measurement.
+//!   verification via per-module solver sessions (push/pop frames over a
+//!   once-encoded context), query-size metrics, and time-to-error
+//!   measurement;
+//! - [`cache`] — the content-addressed VC result cache: canonical
+//!   fingerprints of (visible context, WP goal, config) mapped to persisted
+//!   verdicts, so unchanged functions skip the solver on re-runs.
 
+pub mod cache;
 pub mod ctx;
 pub mod style;
 pub mod verify;
@@ -23,5 +29,7 @@ pub use verify::{
     ProverRegistry, Status, VcConfig,
 };
 // Observability types surfaced in reports, re-exported for downstream use.
-pub use veris_obs::{MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, TimeTree};
+pub use veris_obs::{
+    MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, SessionStats, TimeTree,
+};
 pub use wp::{vc_for_function, SideObligation, WpResult};

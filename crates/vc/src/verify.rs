@@ -10,25 +10,27 @@
 //! `Status::Unknown("resource limit exceeded (...)")` at the same point on
 //! every machine.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use veris_obs::{
-    time, DiagItem, Diagnostic, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, Severity,
-    TimeTree,
+    time, DiagItem, Diagnostic, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter,
+    SessionStats, Severity, TimeTree,
 };
 use veris_smt::quant::TriggerPolicy;
 use veris_smt::solver::{Config as SmtConfig, Model, SmtResult, Solver};
 use veris_smt::term::TermId;
 use veris_vir::expr::var;
 use veris_vir::loc::SourceMap;
-use veris_vir::module::{FnBody, Function, Krate, Mode};
+use veris_vir::module::{FnBody, Function, Krate, Mode, Module};
 use veris_vir::ty::Ty;
 
-use crate::ctx::EncCtx;
+use crate::cache;
+use crate::ctx::{CtxSnapshot, EncCtx};
 use crate::style::Style;
-use crate::wp::{vc_for_function, AssignEvent, SideObligation};
+use crate::wp::{vc_for_function, AssignEvent, SideObligation, WpResult};
 
 /// Outcome of a custom-prover side obligation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,6 +74,13 @@ pub struct VcConfig {
     /// When set, the wall-clock timeout is disabled so the verdict depends
     /// only on deterministic counters.
     pub rlimit: Option<u64>,
+    /// Directory of the content-addressed VC result cache (`.veris-cache`).
+    /// `None` disables caching; only [`verify_krate`] consults it.
+    pub cache_dir: Option<PathBuf>,
+    /// Prior per-module meter totals (from a saved baseline) used to
+    /// schedule module sessions longest-first across worker threads.
+    /// Modules without an entry fall back to their function count.
+    pub module_weights: Option<HashMap<String, u64>>,
 }
 
 impl Default for VcConfig {
@@ -84,6 +93,8 @@ impl Default for VcConfig {
             epr_mode: false,
             smt_max_generation: None,
             rlimit: None,
+            cache_dir: None,
+            module_weights: None,
         }
     }
 }
@@ -99,6 +110,18 @@ impl VcConfig {
     /// Builder: set the deterministic per-function resource budget.
     pub fn with_rlimit(mut self, rlimit: u64) -> VcConfig {
         self.rlimit = Some(rlimit);
+        self
+    }
+
+    /// Builder: enable the persistent result cache rooted at `dir`.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> VcConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: install prior per-module meter totals for scheduling.
+    pub fn with_module_weights(mut self, weights: HashMap<String, u64>) -> VcConfig {
+        self.module_weights = Some(weights);
         self
     }
 
@@ -171,6 +194,9 @@ pub struct FnReport {
     /// Hypotheses the refutation actually used (unsat-core size); 0 when
     /// the query did not come back `Unsat`.
     pub hyps_used: usize,
+    /// True when this report was answered from the result cache (no solver
+    /// was constructed; `time`/`phases` then measure only cache lookup).
+    pub cache_hit: bool,
 }
 
 impl FnReport {
@@ -194,6 +220,7 @@ impl FnReport {
             diagnostics: Vec::new(),
             hyps_asserted: 0,
             hyps_used: 0,
+            cache_hit: false,
         }
     }
 }
@@ -203,6 +230,12 @@ impl FnReport {
 pub struct KrateReport {
     pub functions: Vec<FnReport>,
     pub wall_time: Duration,
+    /// Incremental-verification counters: sessions opened, context
+    /// re-encodings avoided, cache hits/misses.
+    pub sessions: SessionStats,
+    /// Krate-level lints (e.g. a spec function axiomatized in more than
+    /// one module session of this run).
+    pub lints: Vec<Diagnostic>,
 }
 
 impl KrateReport {
@@ -253,11 +286,13 @@ impl KrateReport {
         self.total_phases().to_tree()
     }
 
-    /// All diagnostics, in function order.
+    /// All diagnostics: per-function first (in function order), then
+    /// krate-level lints.
     pub fn diagnostics(&self) -> Vec<&Diagnostic> {
         self.functions
             .iter()
             .flat_map(|f| f.diagnostics.iter())
+            .chain(self.lints.iter())
             .collect()
     }
 
@@ -273,7 +308,185 @@ impl KrateReport {
     }
 }
 
-/// Verify one function by name.
+/// Encode the shared context for functions of `module`: the visible
+/// modules' axioms (Verus prunes to this module + imports; the baselines
+/// ship the whole crate), plus — for non-pruning styles — every spec
+/// function (and therefore every collection-theory instance) in the crate.
+///
+/// Shared verbatim by the fresh path ([`verify_function`]) and the module
+/// sessions in [`verify_krate`]: both perform the identical operation
+/// sequence against a fresh solver, so a session's level-0 state equals a
+/// fresh run's state at the same point and every downstream observable
+/// (verdict, core, meter, query bytes) stays byte-identical.
+fn encode_context(
+    solver: &mut Solver,
+    ctx: &mut EncCtx,
+    krate: &Krate,
+    module: &Module,
+    cfg: &VcConfig,
+) {
+    let empty = HashMap::new();
+    let visible = cache::visible_modules(krate, module, cfg);
+    for m in &visible {
+        for (i, ax) in m.axioms.iter().enumerate() {
+            let t = ctx.encode_expr(solver, ax, &empty);
+            solver.assert_labeled(t, &format!("axiom:{}#{i}", m.name));
+        }
+    }
+    if !cfg.style.prunes_context() {
+        let names: Vec<String> = krate
+            .all_functions()
+            .filter(|(_, f)| f.mode == Mode::Spec && !matches!(f.body, FnBody::Abstract))
+            .map(|(_, f)| f.name.clone())
+            .collect();
+        for n in names {
+            ctx.ensure_spec_fn(solver, &n);
+        }
+    }
+}
+
+/// Everything [`check_function`] learns about one query; combined with the
+/// caller's meter/phases/timing into an [`FnReport`].
+struct QueryRun {
+    status: Status,
+    diagnostics: Vec<Diagnostic>,
+    hyps_asserted: usize,
+    hyps_used: usize,
+    obligations: usize,
+    query_bytes: usize,
+    instantiations: u64,
+    conflicts: u64,
+    profile: QuantProfile,
+}
+
+/// Encode the function-specific query on top of an already-encoded context
+/// and run the check: labeled hypotheses, loop-invariant markers, the
+/// negated (possibly style-wrapped) goal, and the style's noise content —
+/// then the solve, diagnostics, and custom-prover side obligations.
+#[allow(clippy::too_many_arguments)]
+fn check_function(
+    krate: &Krate,
+    fname: &str,
+    wp: &WpResult,
+    cfg: &VcConfig,
+    solver: &mut Solver,
+    ctx: &mut EncCtx,
+    meter: &Arc<ResourceMeter>,
+    phases: &mut PhaseTimes,
+) -> QueryRun {
+    let empty = HashMap::new();
+    time(&mut phases.encode, || {
+        // Assert the hypotheses (requires, parameter ranges) and the
+        // loop-invariant markers as *labeled* formulas, then the negated
+        // goal — each behind a selector literal, so an `Unsat` answer
+        // comes back with the provenance set the refutation used.
+        for (label, h) in &wp.hypotheses {
+            let t = ctx.encode_expr(solver, h, &empty);
+            solver.assert_labeled(t, label);
+        }
+        for (marker, label) in &wp.inv_markers {
+            let t = ctx.encode_expr(solver, &var(marker, Ty::Bool), &empty);
+            solver.assert_labeled(t, label);
+        }
+        let goal_term = ctx.encode_expr(solver, &wp.goal, &empty);
+        ctx.flush_axioms(solver);
+        let goal = wrap_goal(solver, goal_term, cfg.style);
+        let neg = solver.store.mk_not(goal);
+        solver.assert_labeled(neg, "goal");
+        inject_style_noise(solver, cfg.style, &wp.assigns);
+    });
+    let result = time(&mut phases.smt_run, || solver.check());
+    let hyps_asserted = solver.hypothesis_labels().len();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut hyps_used = 0;
+    let mut status = match result {
+        SmtResult::Unsat => {
+            if let Some(core) = solver.unsat_core() {
+                hyps_used = core.len();
+                diagnostics.extend(core_diagnostics(fname, solver, core));
+            }
+            Status::Verified
+        }
+        SmtResult::Sat(model) => {
+            let srcmap = SourceMap::for_krate(krate);
+            diagnostics.push(counterexample_diag(fname, ctx, solver, &model, &srcmap));
+            Status::Failed(render_counterexample(solver, &model))
+        }
+        SmtResult::Unknown(r) => Status::Unknown(r),
+    };
+    // Side obligations via custom provers.
+    let mut obligations = 1;
+    if !wp.side_obligations.is_empty() {
+        obligations += wp.side_obligations.len();
+        match &cfg.provers {
+            None => {
+                if status.is_verified() {
+                    status = Status::Unknown(
+                        "custom-prover obligations present but no prover registry installed".into(),
+                    );
+                }
+            }
+            Some(reg) => {
+                for ob in &wp.side_obligations {
+                    match reg.prove_metered(krate, ob, meter) {
+                        ProverOutcome::Proved => {}
+                        ProverOutcome::Failed(msg) => {
+                            status = Status::Failed(format!("{}: {msg}", ob.label));
+                            break;
+                        }
+                        ProverOutcome::Unknown(msg) => {
+                            if status.is_verified() {
+                                status = Status::Unknown(format!("{}: {msg}", ob.label));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    QueryRun {
+        status,
+        diagnostics,
+        hyps_asserted,
+        hyps_used,
+        obligations,
+        query_bytes: solver.query_size_bytes(),
+        instantiations: solver.stats.instantiations,
+        conflicts: solver.stats.conflicts,
+        profile: solver.profile().clone(),
+    }
+}
+
+impl QueryRun {
+    fn into_report(
+        self,
+        fname: &str,
+        elapsed: Duration,
+        meter: MeterSnapshot,
+        phases: PhaseTimes,
+    ) -> FnReport {
+        FnReport {
+            name: fname.to_owned(),
+            status: self.status,
+            time: elapsed,
+            query_bytes: self.query_bytes,
+            instantiations: self.instantiations,
+            conflicts: self.conflicts,
+            obligations: self.obligations,
+            meter,
+            phases,
+            profile: self.profile,
+            diagnostics: self.diagnostics,
+            hyps_asserted: self.hyps_asserted,
+            hyps_used: self.hyps_used,
+            cache_hit: false,
+        }
+    }
+}
+
+/// Verify one function by name, with a fresh solver (no session reuse, no
+/// cache). This is the reference semantics the incremental paths in
+/// [`verify_krate`] are required to reproduce byte-for-byte.
 pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
     let t0 = Instant::now();
     let (module, f) = krate
@@ -294,120 +507,20 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
         s
     });
     let mut ctx = EncCtx::new(krate);
-    let empty = HashMap::new();
-    // Context: module axioms. Verus prunes to this module + imports; the
-    // baselines ship the whole crate.
-    let visible: Vec<&veris_vir::module::Module> = if cfg.style.prunes_context() {
-        krate
-            .modules
-            .iter()
-            .filter(|m| m.name == module.name || module.imports.contains(&m.name))
-            .collect()
-    } else {
-        krate.modules.iter().collect()
-    };
     time(&mut phases.encode, || {
-        for m in &visible {
-            for (i, ax) in m.axioms.iter().enumerate() {
-                let t = ctx.encode_expr(&mut solver, ax, &empty);
-                solver.assert_labeled(t, &format!("axiom:{}#{i}", m.name));
-            }
-        }
-        // Non-pruning styles additionally pull in every spec function (and
-        // therefore every collection-theory instance) in the crate.
-        if !cfg.style.prunes_context() {
-            let names: Vec<String> = krate
-                .all_functions()
-                .filter(|(_, f)| f.mode == Mode::Spec && !matches!(f.body, FnBody::Abstract))
-                .map(|(_, f)| f.name.clone())
-                .collect();
-            for n in names {
-                ctx.ensure_spec_fn(&mut solver, &n);
-            }
-        }
-        // Assert the hypotheses (requires, parameter ranges) and the
-        // loop-invariant markers as *labeled* formulas, then the negated
-        // goal — each behind a selector literal, so an `Unsat` answer
-        // comes back with the provenance set the refutation used.
-        for (label, h) in &wp.hypotheses {
-            let t = ctx.encode_expr(&mut solver, h, &empty);
-            solver.assert_labeled(t, label);
-        }
-        for (marker, label) in &wp.inv_markers {
-            let t = ctx.encode_expr(&mut solver, &var(marker, Ty::Bool), &empty);
-            solver.assert_labeled(t, label);
-        }
-        let goal_term = ctx.encode_expr(&mut solver, &wp.goal, &empty);
-        ctx.flush_axioms(&mut solver);
-        let goal = wrap_goal(&mut solver, goal_term, cfg.style);
-        let neg = solver.store.mk_not(goal);
-        solver.assert_labeled(neg, "goal");
-        inject_style_noise(&mut solver, cfg.style, &wp.assigns);
+        encode_context(&mut solver, &mut ctx, krate, module, cfg);
     });
-    let result = time(&mut phases.smt_run, || solver.check());
-    let hyps_asserted = solver.hypothesis_labels().len();
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
-    let mut hyps_used = 0;
-    let mut status = match result {
-        SmtResult::Unsat => {
-            if let Some(core) = solver.unsat_core() {
-                hyps_used = core.len();
-                diagnostics.extend(core_diagnostics(fname, &solver, core));
-            }
-            Status::Verified
-        }
-        SmtResult::Sat(model) => {
-            let srcmap = SourceMap::for_krate(krate);
-            diagnostics.push(counterexample_diag(fname, &ctx, &solver, &model, &srcmap));
-            Status::Failed(render_counterexample(&solver, &model))
-        }
-        SmtResult::Unknown(r) => Status::Unknown(r),
-    };
-    // Side obligations via custom provers.
-    let mut obligations = 1;
-    if !wp.side_obligations.is_empty() {
-        obligations += wp.side_obligations.len();
-        match &cfg.provers {
-            None => {
-                if status.is_verified() {
-                    status = Status::Unknown(
-                        "custom-prover obligations present but no prover registry installed".into(),
-                    );
-                }
-            }
-            Some(reg) => {
-                for ob in &wp.side_obligations {
-                    match reg.prove_metered(krate, ob, &meter) {
-                        ProverOutcome::Proved => {}
-                        ProverOutcome::Failed(msg) => {
-                            status = Status::Failed(format!("{}: {msg}", ob.label));
-                            break;
-                        }
-                        ProverOutcome::Unknown(msg) => {
-                            if status.is_verified() {
-                                status = Status::Unknown(format!("{}: {msg}", ob.label));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    FnReport {
-        name: fname.to_owned(),
-        status,
-        time: t0.elapsed(),
-        query_bytes: solver.query_size_bytes(),
-        instantiations: solver.stats.instantiations,
-        conflicts: solver.stats.conflicts,
-        obligations,
-        meter: meter.snapshot(),
-        phases,
-        profile: solver.profile().clone(),
-        diagnostics,
-        hyps_asserted,
-        hyps_used,
-    }
+    let q = check_function(
+        krate,
+        fname,
+        &wp,
+        cfg,
+        &mut solver,
+        &mut ctx,
+        &meter,
+        &mut phases,
+    );
+    q.into_report(fname, t0.elapsed(), meter.snapshot(), phases)
 }
 
 /// Diagnostics derived from an unsat core: the used-hypothesis set, plus
@@ -502,56 +615,291 @@ fn counterexample_diag(
     Diagnostic::new(severity, "counterexample", fname, headline).with_items(items)
 }
 
+/// One module's reusable solver session.
+///
+/// The shared context (visible module axioms, theory instances, spec-fn
+/// axioms) is encoded once at assertion level 0 on an *unlimited* meter;
+/// its cost is captured in `ctx_cost`. Each function is then verified
+/// inside a `push`/`pop` frame with a fresh rlimit-bounded meter
+/// pre-charged with `ctx_cost` — so per-function meter totals, rlimit trip
+/// points, unsat cores, and query bytes are byte-identical to a fresh
+/// solver that re-encoded the context (see `encode_context`).
+///
+/// Learned-clause retention across frames is deliberately left off here:
+/// retained lemmas would make a later function's search depend on which
+/// functions ran before it in the session, breaking the byte-for-byte
+/// parity contract with [`verify_function`]. The SAT core supports
+/// retention (`set_retain_learned`) for callers that prefer raw speed
+/// over reproducibility.
+struct ModuleSession<'k> {
+    solver: Solver,
+    ctx: EncCtx<'k>,
+    ctx_snap: CtxSnapshot,
+    ctx_cost: MeterSnapshot,
+    /// Spec functions axiomatized anywhere in this session (prelude or any
+    /// frame), for the krate-level redundancy lint.
+    axiomed: HashSet<String>,
+}
+
+impl<'k> ModuleSession<'k> {
+    /// Encode `module`'s shared context once; later frames start from here.
+    fn open(
+        krate: &'k Krate,
+        module: &'k Module,
+        cfg: &VcConfig,
+        phases: &mut PhaseTimes,
+    ) -> ModuleSession<'k> {
+        let ctx_meter = Arc::new(ResourceMeter::new());
+        let mut solver = time(&mut phases.smt_init, || {
+            let mut s = Solver::new(cfg.smt_config());
+            s.set_meter(ctx_meter.clone());
+            s
+        });
+        let mut ctx = EncCtx::new(krate);
+        time(&mut phases.encode, || {
+            encode_context(&mut solver, &mut ctx, krate, module, cfg);
+        });
+        let ctx_snap = ctx.snapshot();
+        let axiomed: HashSet<String> = ctx.axiomatized_spec_fns().into_iter().collect();
+        ModuleSession {
+            solver,
+            ctx,
+            ctx_snap,
+            ctx_cost: ctx_meter.snapshot(),
+            axiomed,
+        }
+    }
+
+    /// Verify one function in a fresh frame on top of the shared context.
+    fn verify(
+        &mut self,
+        krate: &Krate,
+        fname: &str,
+        wp: &WpResult,
+        cfg: &VcConfig,
+        t0: Instant,
+        mut phases: PhaseTimes,
+    ) -> FnReport {
+        let meter = Arc::new(ResourceMeter::with_limit(cfg.rlimit));
+        meter.precharge(&self.ctx_cost);
+        self.solver.set_meter(meter.clone());
+        self.solver.push();
+        let q = check_function(
+            krate,
+            fname,
+            wp,
+            cfg,
+            &mut self.solver,
+            &mut self.ctx,
+            &meter,
+            &mut phases,
+        );
+        for n in self.ctx.axiomatized_spec_fns() {
+            self.axiomed.insert(n);
+        }
+        self.solver.pop();
+        self.ctx.restore(&self.ctx_snap);
+        q.into_report(fname, t0.elapsed(), meter.snapshot(), phases)
+    }
+}
+
+/// One module's slice of the verification work: which output slots its
+/// functions report into, and its scheduling weight.
+struct ModuleGroup<'k> {
+    module: &'k Module,
+    /// `(output slot, function name)` in original crate order.
+    fns: Vec<(usize, String)>,
+    weight: u64,
+}
+
+/// Run one module group: probe the cache per function, lazily open the
+/// session on the first miss, verify misses in push/pop frames. Returns
+/// the slot-tagged reports, the group's counters, and the spec functions
+/// its session axiomatized.
+fn run_module_group(
+    krate: &Krate,
+    group: &ModuleGroup,
+    cfg: &VcConfig,
+) -> (Vec<(usize, FnReport)>, SessionStats, HashSet<String>) {
+    let mut stats = SessionStats::new();
+    let mut sess: Option<ModuleSession> = None;
+    let mut out = Vec::new();
+    for (slot, fname) in &group.fns {
+        let t0 = Instant::now();
+        let (_, f) = krate.find_function(fname).expect("group function exists");
+        let mut phases = PhaseTimes::default();
+        let wp = time(&mut phases.vir, || vc_for_function(krate, f));
+        let fp = cfg.cache_dir.as_ref().map(|_| {
+            let visible = cache::visible_modules(krate, group.module, cfg);
+            cache::fingerprint(&visible, fname, &wp, cfg)
+        });
+        if let (Some(dir), Some(fp)) = (&cfg.cache_dir, &fp) {
+            if let Some(mut rep) = cache::load(dir, fp) {
+                stats.cache_hits += 1;
+                rep.time = t0.elapsed();
+                rep.phases = phases;
+                out.push((*slot, rep));
+                continue;
+            }
+        }
+        stats.cache_misses += 1;
+        let sess = match &mut sess {
+            Some(s) => {
+                stats.ctx_reencodes_avoided += 1;
+                s
+            }
+            none => {
+                stats.sessions_opened += 1;
+                none.insert(ModuleSession::open(krate, group.module, cfg, &mut phases))
+            }
+        };
+        let rep = sess.verify(krate, fname, &wp, cfg, t0, phases);
+        if let (Some(dir), Some(fp)) = (&cfg.cache_dir, &fp) {
+            cache::store(dir, fp, &rep);
+        }
+        out.push((*slot, rep));
+    }
+    let axiomed = sess.map(|s| s.axiomed).unwrap_or_default();
+    (out, stats, axiomed)
+}
+
 /// Verify all non-trusted functions with bodies, optionally in parallel
 /// (the paper's Fig 9 reports both 1-core and 8-core wall times).
+///
+/// Functions are grouped into per-module solver sessions (the context is
+/// encoded once per module, not once per function), sessions are scheduled
+/// longest-first across workers (by prior meter totals when
+/// [`VcConfig::module_weights`] is set, function count otherwise), and —
+/// when [`VcConfig::cache_dir`] is set — unchanged functions are answered
+/// from the content-addressed result cache without touching a solver.
+/// Report order is the original crate order regardless of schedule.
 pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateReport {
     let t0 = Instant::now();
-    let names: Vec<String> = krate
-        .all_functions()
-        .filter(|(_, f)| !f.trusted && !matches!(f.body, FnBody::Abstract))
-        .filter(|(_, f)| needs_verification(f))
-        .map(|(_, f)| f.name.clone())
-        .collect();
-    let functions = if threads <= 1 {
-        names
+    // Group verifiable functions by module, preserving crate order.
+    let mut groups: Vec<ModuleGroup> = Vec::new();
+    let mut slot = 0usize;
+    for module in &krate.modules {
+        let fns: Vec<(usize, String)> = module
+            .functions
             .iter()
-            .map(|n| verify_function(krate, n, cfg))
-            .collect()
+            .filter(|f| !f.trusted && !matches!(f.body, FnBody::Abstract))
+            .filter(|f| needs_verification(f))
+            .map(|f| {
+                let s = slot;
+                slot += 1;
+                (s, f.name.clone())
+            })
+            .collect();
+        if fns.is_empty() {
+            continue;
+        }
+        let weight = cfg
+            .module_weights
+            .as_ref()
+            .and_then(|w| w.get(&module.name).copied())
+            .unwrap_or(fns.len() as u64);
+        groups.push(ModuleGroup {
+            module,
+            fns,
+            weight,
+        });
+    }
+    // Longest-processing-time-first: heaviest sessions start earliest so no
+    // worker is left holding the one big module at the end. Stable sort
+    // keeps equal-weight groups in crate order — the schedule (and with
+    // threads=1 the execution order) is deterministic.
+    groups.sort_by_key(|g| std::cmp::Reverse(g.weight));
+    let mut reports: Vec<Option<FnReport>> = vec![None; slot];
+    let mut sessions = SessionStats::new();
+    let mut axiom_sets: Vec<HashSet<String>> = Vec::new();
+    if threads <= 1 {
+        for g in &groups {
+            let (reps, stats, axiomed) = run_module_group(krate, g, cfg);
+            for (i, r) in reps {
+                reports[i] = Some(r);
+            }
+            sessions = sessions.add(&stats);
+            axiom_sets.push(axiomed);
+        }
     } else {
-        let mut reports: Vec<Option<FnReport>> = vec![None; names.len()];
         let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
+        let groups = &groups;
+        let worker_results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
-                let names = &names;
                 let next = &next;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= names.len() {
+                        let gi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if gi >= groups.len() {
                             break;
                         }
-                        out.push((i, verify_function(krate, &names[i], cfg)));
+                        out.push(run_module_group(krate, &groups[gi], cfg));
                     }
                     out
                 }));
             }
+            let mut all = Vec::new();
             for h in handles {
-                for (i, r) in h.join().expect("verification worker panicked") {
-                    reports[i] = Some(r);
-                }
+                all.extend(h.join().expect("verification worker panicked"));
             }
+            all
         });
-        reports
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect()
-    };
+        for (reps, stats, axiomed) in worker_results {
+            for (i, r) in reps {
+                reports[i] = Some(r);
+            }
+            sessions = sessions.add(&stats);
+            axiom_sets.push(axiomed);
+        }
+    }
+    let functions: Vec<FnReport> = reports
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect();
     KrateReport {
         functions,
         wall_time: t0.elapsed(),
+        sessions,
+        lints: redundancy_lint(&axiom_sets),
     }
+}
+
+/// The spec-fn redundancy lint: a spec function axiomatized in more than
+/// one module session of a single run was encoded more than once. With
+/// per-module sessions this is the residual (cross-module) redundancy;
+/// before sessions, every function re-encoded it silently. Reported once
+/// per run as a single diagnostic listing each offender and its session
+/// count.
+fn redundancy_lint(axiom_sets: &[HashSet<String>]) -> Vec<Diagnostic> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for set in axiom_sets {
+        for name in set {
+            *counts.entry(name).or_default() += 1;
+        }
+    }
+    let redundant: Vec<(&str, usize)> = counts.into_iter().filter(|&(_, n)| n > 1).collect();
+    if redundant.is_empty() {
+        return Vec::new();
+    }
+    let diag = Diagnostic::new(
+        Severity::Note,
+        "redundant-spec-axiom",
+        "krate",
+        format!(
+            "{} spec function{} axiomatized in more than one module session",
+            redundant.len(),
+            if redundant.len() == 1 { "" } else { "s" }
+        ),
+    )
+    .with_items(
+        redundant
+            .into_iter()
+            .map(|(name, n)| DiagItem::new(name, format!("{n} sessions")))
+            .collect(),
+    );
+    vec![diag]
 }
 
 /// A function needs verification when it has a body to check or a contract
