@@ -586,6 +586,64 @@ pub mod explain {
     }
 }
 
+/// Pre-solver static-analysis harness: runs `veris-lint` over a named
+/// case-study system and renders the findings — without constructing
+/// any solver. The JSONL output is the machine-readable artifact the CI
+/// lint step uploads; a golden-file test pins its shape.
+pub mod lint {
+    use super::*;
+    use veris_obs::json_escape;
+    use veris_vc::{lint_krate, LintReport};
+
+    /// Version of the `lint --json` JSONL schema. Bump on any shape
+    /// change; `crates/bench/tests/lint_golden.rs` pins the current shape.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Lint a named case-study system. `None` for an unknown name.
+    pub fn report_for(system: &str) -> Option<LintReport> {
+        Some(lint_krate(&casestudy::krate(system)?))
+    }
+
+    /// Lint `system` and render the findings. `None` for an unknown
+    /// system name. No solver is constructed and every pass iterates
+    /// sorted structures, so the output is byte-identical across repeated
+    /// runs and thread counts.
+    pub fn lint_system(system: &str, json: bool) -> Option<String> {
+        let report = report_for(system)?;
+        Some(if json {
+            render_jsonl(system, &report)
+        } else {
+            render_human(system, &report)
+        })
+    }
+
+    /// JSONL: one header object (schema version, system, stats) followed
+    /// by one object per finding, in the lint framework's deterministic
+    /// pass-then-krate order. No trailing newline.
+    pub fn render_jsonl(system: &str, report: &LintReport) -> String {
+        let mut lines = vec![format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"system\":\"{}\",\"stats\":{}}}",
+            json_escape(system),
+            report.stats.to_json()
+        )];
+        lines.extend(report.diagnostics.iter().map(|d| d.to_json()));
+        lines.join("\n")
+    }
+
+    pub fn render_human(system: &str, report: &LintReport) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== lint: {system} ==");
+        let _ = write!(out, "{}", report.stats.render());
+        if report.diagnostics.is_empty() {
+            let _ = writeln!(out, "(clean)");
+        }
+        for d in &report.diagnostics {
+            let _ = writeln!(out, "{}", d.render_human());
+        }
+        out
+    }
+}
+
 /// Deterministic verification-cost baseline over the Fig 9 case studies.
 ///
 /// The committed `BENCH_baseline.json` records, per system, the total

@@ -50,6 +50,9 @@ pub fn singly_list_krate() -> Krate {
     let view_fn = Function::new("view", Mode::Spec)
         .param("l", list_ty())
         .returns("r", seq_int())
+        // Structural measure (Verus `decreases l`): each recursive call
+        // peels one Cons, so the list itself is the well-founded measure.
+        .decreases(l.clone())
         .spec_body(ite(
             l.is_variant("List", "Nil"),
             seq_empty(Ty::Int),

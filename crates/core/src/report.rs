@@ -31,6 +31,9 @@ pub struct MacroRow {
     /// sessions opened, context re-encodings avoided by push/pop reuse, and
     /// result-cache hits/misses.
     pub sessions: SessionStats,
+    /// Pre-solver static-analysis findings emitted for the 1-core run
+    /// (errors + warnings + notes; suppressed findings are not counted).
+    pub lints: u64,
     pub all_verified: bool,
 }
 
@@ -65,6 +68,7 @@ impl MacroRow {
             hyps_asserted,
             hyps_used,
             sessions: one_core.sessions,
+            lints: one_core.lint_stats.total(),
             all_verified: one_core.all_verified() && n_core.all_verified(),
         }
     }
@@ -97,7 +101,7 @@ impl MacroTable {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>5} {:>5} {:>6} {:>5} {:>4}",
+            "{:<22} {:>8} {:>8} {:>7} {:>6} {:>9} {:>9} {:>10} {:>9} {:>8} {:>5} {:>5} {:>6} {:>5} {:>5} {:>4}",
             "System",
             "trusted",
             "proof",
@@ -112,6 +116,7 @@ impl MacroTable {
             "sess",
             "reuse",
             "hits",
+            "lints",
             "ok"
         );
         let mut total = LineCounts::default();
@@ -119,7 +124,7 @@ impl MacroTable {
             total.add(r.lines);
             let _ = writeln!(
                 out,
-                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4.0}% {:>5} {:>6} {:>5} {:>4}",
+                "{:<22} {:>8} {:>8} {:>7} {:>6.1} {:>8.2}s {:>8.2}s {:>10} {:>9} {:>8} {:>4.0}% {:>5} {:>6} {:>5} {:>5} {:>4}",
                 r.system,
                 r.lines.trusted,
                 r.lines.proof,
@@ -134,6 +139,7 @@ impl MacroTable {
                 r.sessions.sessions_opened,
                 r.sessions.ctx_reencodes_avoided,
                 r.sessions.cache_hits,
+                r.lints,
                 if r.all_verified { "yes" } else { "NO" },
             );
         }
@@ -177,5 +183,6 @@ mod tests {
         assert!(s.contains("qinst"));
         assert!(s.contains("sess"));
         assert!(s.contains("reuse"));
+        assert!(s.contains("lints"));
     }
 }

@@ -1,0 +1,336 @@
+//! Pass 3: crate-wide quantifier-alternation advisory.
+//!
+//! The EPR fragment check (`crates/epr/src/fragment.rs`) rejects modules in
+//! `epr_mode` whose quantifier-alternation sort graph is cyclic, because a
+//! cycle means an unbounded Herbrand universe. The same graph is a useful
+//! *advisory* signal everywhere else: a cycle tells you that skolemization
+//! plus function symbols can generate fresh terms of a sort forever, so
+//! saturation-style reasoning (and, in practice, e-matching over those
+//! sorts) has no termination guarantee. This pass re-derives the edges —
+//! ∃-under-∀ skolem edges (after polarity normalization) and function
+//! argument-sort → result-sort edges — for *every* module and emits a
+//! note-severity report when the graph has a cycle. Unlike the EPR checker,
+//! the traversal is fully deterministic (sorted sets, sorted DFS).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use veris_obs::{DiagItem, Diagnostic, Severity};
+use veris_vir::expr::{BinOp, Expr, ExprX, UnOp};
+use veris_vir::module::{FnBody, Krate, Module};
+use veris_vir::stmt::Stmt;
+use veris_vir::ty::Ty;
+
+use crate::ids;
+
+type SortNode = String;
+
+fn sort_node(ty: &Ty) -> Option<SortNode> {
+    match ty {
+        Ty::Abstract(n) => Some(n.clone()),
+        Ty::Datatype(n) => Some(format!("dt:{n}")),
+        _ => None,
+    }
+}
+
+pub fn check(krate: &Krate) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in &krate.modules {
+        let edges = module_edges(m);
+        if edges.is_empty() {
+            continue;
+        }
+        if let Some(cycle) = find_cycle(&edges) {
+            let mut items = vec![
+                DiagItem::new("cycle", cycle.join(" -> ")),
+                DiagItem::new("edges", edges.len().to_string()),
+            ];
+            if m.epr_mode {
+                items.push(DiagItem::new("epr_mode", "true"));
+            }
+            diags.push(
+                Diagnostic::new(
+                    Severity::Note,
+                    ids::ALTERNATION_CYCLE,
+                    m.name.clone(),
+                    format!(
+                        "quantifier-alternation sort graph has a cycle ({}); \
+                         instantiation over these sorts has no termination guarantee",
+                        cycle.join(" -> ")
+                    ),
+                )
+                .with_items(items),
+            );
+        }
+    }
+    diags
+}
+
+/// Collect alternation edges from a module's axioms and function
+/// signatures, contracts, and bodies.
+fn module_edges(m: &Module) -> BTreeSet<(SortNode, SortNode)> {
+    let mut edges = BTreeSet::new();
+    for f in &m.functions {
+        // Function-sort edges from the signature.
+        if let Some((_, rt)) = &f.ret {
+            if let Some(rn) = sort_node(rt) {
+                for p in &f.params {
+                    if let Some(pn) = sort_node(&p.ty) {
+                        edges.insert((pn, rn.clone()));
+                    }
+                }
+            }
+        }
+        for e in &f.requires {
+            walk(e, false, &[], &mut edges); // hypothesis position
+        }
+        for e in &f.ensures {
+            walk(e, true, &[], &mut edges);
+        }
+        match &f.body {
+            FnBody::SpecExpr(b) => {
+                walk(b, true, &[], &mut edges);
+                walk(b, false, &[], &mut edges);
+            }
+            FnBody::Stmts(ss) => walk_stmts(ss, &mut edges),
+            FnBody::Abstract => {}
+        }
+    }
+    for a in &m.axioms {
+        walk(a, true, &[], &mut edges);
+    }
+    edges
+}
+
+fn walk_stmts(stmts: &[Stmt], edges: &mut BTreeSet<(SortNode, SortNode)>) {
+    for s in stmts {
+        match s {
+            Stmt::Assert { expr, .. } => walk(expr, true, &[], edges),
+            Stmt::Assume(e) => walk(e, false, &[], edges),
+            Stmt::Decl { init: Some(e), .. } | Stmt::Assign { value: e, .. } => {
+                walk(e, true, &[], edges)
+            }
+            Stmt::Decl { init: None, .. } => {}
+            Stmt::If { cond, then_, else_ } => {
+                walk(cond, true, &[], edges);
+                walk(cond, false, &[], edges);
+                walk_stmts(then_, edges);
+                walk_stmts(else_, edges);
+            }
+            Stmt::While {
+                cond,
+                invariants,
+                decreases,
+                body,
+            } => {
+                walk(cond, true, &[], edges);
+                walk(cond, false, &[], edges);
+                for i in invariants {
+                    walk(i, true, &[], edges);
+                    walk(i, false, &[], edges);
+                }
+                if let Some(d) = decreases {
+                    walk(d, true, &[], edges);
+                }
+                walk_stmts(body, edges);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    walk(a, true, &[], edges);
+                }
+            }
+            Stmt::Return(Some(e)) => walk(e, true, &[], edges),
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+/// Polarity-aware edge collection. `pol=true` is positive (goal) position;
+/// `univs` holds the sorts universally quantified in scope after polarity
+/// normalization. Unlike the EPR checker this never *rejects* anything —
+/// arithmetic and collections simply contribute no edges (their sorts are
+/// not graph nodes).
+fn walk(e: &Expr, pol: bool, univs: &[SortNode], edges: &mut BTreeSet<(SortNode, SortNode)>) {
+    match &**e {
+        ExprX::Quant {
+            forall, vars, body, ..
+        } => {
+            let effective_forall = *forall == pol;
+            let mut inner = univs.to_vec();
+            for (_, t) in vars {
+                if let Some(n) = sort_node(t) {
+                    if effective_forall {
+                        inner.push(n);
+                    } else {
+                        // Existential under universals: skolem edges.
+                        for u in univs {
+                            edges.insert((u.clone(), n.clone()));
+                        }
+                    }
+                }
+            }
+            walk(body, pol, &inner, edges);
+        }
+        ExprX::Unary(UnOp::Not, a) => walk(a, !pol, univs, edges),
+        ExprX::Binary(BinOp::Implies, a, b) => {
+            walk(a, !pol, univs, edges);
+            walk(b, pol, univs, edges);
+        }
+        ExprX::Binary(BinOp::Iff, a, b) => {
+            walk(a, pol, univs, edges);
+            walk(a, !pol, univs, edges);
+            walk(b, pol, univs, edges);
+            walk(b, !pol, univs, edges);
+        }
+        ExprX::Call(_, args, ret) => {
+            // Function edges: each argument sort -> result sort.
+            if let Some(rn) = sort_node(ret) {
+                for a in args {
+                    if let Some(an) = sort_node(&a.ty()) {
+                        edges.insert((an, rn.clone()));
+                    }
+                }
+            }
+            for a in args {
+                walk(a, pol, univs, edges);
+            }
+        }
+        _ => {
+            for c in veris_vir::expr::children(e) {
+                walk(&c, pol, univs, edges);
+            }
+        }
+    }
+}
+
+/// Deterministic cycle search: White/Gray/Black DFS over the sorted edge
+/// set, visiting nodes and successors in lexicographic order.
+fn find_cycle(edges: &BTreeSet<(SortNode, SortNode)>) -> Option<Vec<SortNode>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().insert(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(n, Mark::Gray);
+        path.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match marks.get(m).copied().unwrap_or(Mark::White) {
+                Mark::Gray => {
+                    let start = path.iter().position(|&p| p == m).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        path[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(m.to_string());
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = dfs(m, adj, marks, path) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        path.pop();
+        marks.insert(n, Mark::Black);
+        None
+    }
+    let node_list: Vec<&str> = nodes.iter().copied().collect();
+    for n in node_list {
+        if marks[n] == Mark::White {
+            let mut path = Vec::new();
+            if let Some(c) = dfs(n, &adj, &mut marks, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{call, exists, forall, var};
+    use veris_vir::module::{Function, Mode};
+
+    #[test]
+    fn forall_exists_plus_function_back_edge_cycles() {
+        // forall n: Node. exists m: Msg. owns(n, m) gives Node -> Msg;
+        // sender: Msg -> Node closes the cycle.
+        let node = Ty::Abstract("Node".into());
+        let msg = Ty::Abstract("Msg".into());
+        let owns = Function::new("owns", Mode::Spec)
+            .param("n", node.clone())
+            .param("m", msg.clone())
+            .returns("r", Ty::Bool);
+        let sender = Function::new("sender", Mode::Spec)
+            .param("m", msg.clone())
+            .returns("r", node.clone());
+        let body = exists(
+            vec![("m", msg.clone())],
+            call(
+                "owns",
+                vec![var("n", node.clone()), var("m", msg.clone())],
+                Ty::Bool,
+            ),
+            "ex_m",
+        );
+        let ax = forall(vec![("n", node.clone())], body, "all_own");
+        let m = Module::new("m").func(owns).func(sender).axiom(ax);
+        let k = Krate::new().module(m);
+        let diags = check(&k);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ids::ALTERNATION_CYCLE);
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert!(diags[0].items.iter().any(|i| i.label == "cycle"));
+    }
+
+    #[test]
+    fn acyclic_alternation_is_silent_even_outside_epr_mode() {
+        let node = Ty::Abstract("Node".into());
+        let msg = Ty::Abstract("Msg".into());
+        let owns = Function::new("owns", Mode::Spec)
+            .param("n", node.clone())
+            .param("m", msg.clone())
+            .returns("r", Ty::Bool);
+        let body = exists(
+            vec![("m", msg.clone())],
+            call(
+                "owns",
+                vec![var("n", node.clone()), var("m", msg.clone())],
+                Ty::Bool,
+            ),
+            "ex_m",
+        );
+        let ax = forall(vec![("n", node.clone())], body, "all_own");
+        let m = Module::new("m").func(owns).axiom(ax);
+        let k = Krate::new().module(m);
+        assert!(check(&k).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_module_contributes_no_edges() {
+        use veris_vir::expr::{int, ExprExt};
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Spec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .spec_body(x.add(int(1)));
+        let m = Module::new("m").func(f);
+        let k = Krate::new().module(m);
+        assert!(check(&k).is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Pass 4: spec-health lints — vacuous `requires`, trivially-true
+//! `ensures`.
+//!
+//! Both are *cheap bounded* checks via the VIR interpreter
+//! (`vir::interp`), never a solver call:
+//!
+//! * [`ids::VACUOUS_REQUIRES`]: the conjoined `requires` is evaluated on a
+//!   small deterministic grid of concrete parameter values. If every probe
+//!   evaluates to `false`, the precondition is likely unsatisfiable — the
+//!   function verifies trivially and callers can never invoke it. A single
+//!   trap (abstract callee, collection value, fuel) makes the probe
+//!   inconclusive and the function is skipped, so the lint never
+//!   false-positives on specs it cannot evaluate.
+//! * [`ids::TRIVIAL_ENSURES`]: an `ensures` clause that is a tautology by
+//!   shape (`true`, `e == e`, `e <= e`, `e >= e`, `e <==> e`, `e ==> e`) or
+//!   a closed expression that evaluates to `true` promises nothing.
+
+use std::collections::HashMap;
+
+use veris_obs::{DiagItem, Diagnostic, Severity};
+use veris_vir::expr::{and_all, free_vars, BinOp, Expr, ExprX};
+use veris_vir::interp::{Interp, Value};
+use veris_vir::module::{Function, Krate};
+use veris_vir::ty::Ty;
+
+use crate::ids;
+
+/// Probe evaluation fuel: small, so pathological spec functions cannot make
+/// linting slow. A fuel trap marks the probe inconclusive.
+const PROBE_FUEL: u64 = 10_000;
+/// Cap on the number of grid points per function.
+const MAX_PROBES: usize = 256;
+
+pub fn check(krate: &Krate) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (_, f) in krate.all_functions() {
+        diags.extend(check_vacuous_requires(krate, f));
+        diags.extend(check_trivial_ensures(krate, f));
+    }
+    diags
+}
+
+/// Candidate probe values for a parameter type; `None` if the type is not
+/// cheaply enumerable (collections, datatypes, abstract sorts).
+fn probe_values(ty: &Ty) -> Option<Vec<Value>> {
+    match ty {
+        Ty::Bool => Some(vec![Value::Bool(false), Value::Bool(true)]),
+        Ty::Int => Some(
+            [-7i128, -1, 0, 1, 2, 7]
+                .iter()
+                .map(|&v| Value::Int(v))
+                .collect(),
+        ),
+        Ty::Nat => Some([0i128, 1, 2, 7].iter().map(|&v| Value::Int(v)).collect()),
+        Ty::UInt(_) | Ty::SInt(_) => {
+            let (lo, hi) = ty.int_range()?;
+            let mut vals = Vec::new();
+            for v in [0i128, 1, 2, 7, -1, -7] {
+                if v >= lo && v <= hi && !vals.contains(&v) {
+                    vals.push(v);
+                }
+            }
+            Some(vals.into_iter().map(Value::Int).collect())
+        }
+        _ => None,
+    }
+}
+
+fn check_vacuous_requires(krate: &Krate, f: &Function) -> Vec<Diagnostic> {
+    if f.requires.is_empty() {
+        return vec![];
+    }
+    let mut grids = Vec::new();
+    for p in &f.params {
+        match probe_values(&p.ty) {
+            Some(vs) => grids.push((p.name.clone(), vs)),
+            None => return vec![], // not cheaply enumerable
+        }
+    }
+    let req = and_all(f.requires.clone());
+    // Cartesian product over the per-parameter grids, capped.
+    let total: usize = grids.iter().map(|(_, v)| v.len()).product::<usize>().max(1);
+    let probes = total.min(MAX_PROBES);
+    let mut any_true = false;
+    for idx in 0..probes {
+        let mut env: HashMap<String, Value> = HashMap::new();
+        let mut rest = idx;
+        for (name, vals) in &grids {
+            env.insert(name.clone(), vals[rest % vals.len()].clone());
+            rest /= vals.len();
+        }
+        let mut it = Interp::new(krate);
+        it.fuel = PROBE_FUEL;
+        match it.eval(&req, &env, &env) {
+            Ok(Value::Bool(true)) => {
+                any_true = true;
+                break;
+            }
+            Ok(Value::Bool(false)) => {}
+            // Non-bool or trap: inconclusive — stay silent.
+            _ => return vec![],
+        }
+    }
+    if any_true {
+        return vec![];
+    }
+    vec![Diagnostic::new(
+        Severity::Warning,
+        ids::VACUOUS_REQUIRES,
+        f.name.clone(),
+        format!(
+            "requires rejected all {probes} probed inputs; the precondition may be \
+             unsatisfiable (every caller would be rejected, and the body verifies \
+             vacuously)"
+        ),
+    )
+    .with_items(vec![DiagItem::new("probes", probes.to_string())])]
+}
+
+/// Tautology by shape: `e == e`, `e <= e`, `e >= e`, `e <==> e`, `e ==> e`.
+fn tautological_shape(e: &Expr) -> bool {
+    match &**e {
+        ExprX::BoolLit(true) => true,
+        ExprX::Binary(op, a, b) => {
+            matches!(
+                op,
+                BinOp::Eq | BinOp::Le | BinOp::Ge | BinOp::Iff | BinOp::Implies
+            ) && a == b
+        }
+        _ => false,
+    }
+}
+
+fn check_trivial_ensures(krate: &Krate, f: &Function) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, e) in f.ensures.iter().enumerate() {
+        let trivial_shape = tautological_shape(e);
+        let trivial_closed = !trivial_shape && free_vars(e).is_empty() && {
+            let mut it = Interp::new(krate);
+            it.fuel = PROBE_FUEL;
+            let env = HashMap::new();
+            matches!(it.eval(e, &env, &env), Ok(Value::Bool(true)))
+        };
+        if trivial_shape || trivial_closed {
+            diags.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    ids::TRIVIAL_ENSURES,
+                    f.name.clone(),
+                    format!("ensures clause #{i} is trivially true and promises nothing"),
+                )
+                .with_items(vec![DiagItem::new(format!("ensures#{i}"), format!("{e}"))]),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{int, tru, var, ExprExt};
+    use veris_vir::module::{Mode, Module};
+
+    fn krate_of(f: Function) -> Krate {
+        Krate::new().module(Module::new("m").func(f))
+    }
+
+    #[test]
+    fn contradictory_requires_warns() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Proof)
+            .param("x", Ty::Int)
+            .requires(x.gt(int(0)))
+            .requires(x.lt(int(0)));
+        let diags = check(&krate_of(f));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ids::VACUOUS_REQUIRES);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn satisfiable_requires_is_clean() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Proof)
+            .param("x", Ty::Int)
+            .requires(x.ge(int(0)));
+        assert!(check(&krate_of(f)).is_empty());
+    }
+
+    #[test]
+    fn requires_on_unevaluable_type_is_skipped() {
+        let s = var("s", Ty::seq(Ty::Int));
+        let f = Function::new("f", Mode::Proof)
+            .param("s", Ty::seq(Ty::Int))
+            .requires(s.seq_len().gt(int(0)));
+        assert!(check(&krate_of(f)).is_empty());
+    }
+
+    #[test]
+    fn trivial_ensures_shapes_warn() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("f", Mode::Proof)
+            .param("x", Ty::Int)
+            .ensures(tru())
+            .ensures(x.eq_e(x.clone()))
+            .ensures(x.ge(int(0))); // fine
+        let diags = check(&krate_of(f));
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == ids::TRIVIAL_ENSURES));
+    }
+
+    #[test]
+    fn closed_true_ensures_warns() {
+        let f = Function::new("f", Mode::Proof).ensures(int(1).le(int(2)));
+        let diags = check(&krate_of(f));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ids::TRIVIAL_ENSURES);
+    }
+
+    #[test]
+    fn meaningful_ensures_untouched() {
+        let x = var("x", Ty::Int);
+        let r = var("r", Ty::Int);
+        let f = Function::new("f", Mode::Spec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .ensures(r.ge(x.clone()));
+        assert!(check(&krate_of(f)).is_empty());
+    }
+}

@@ -1,0 +1,746 @@
+//! Pass 1: static matching-loop detection over the trigger graph.
+//!
+//! For every universally quantified axiom the solver would see — module
+//! axioms plus the definitional axiom of each non-opaque spec function
+//! (`forall params. {name(params)} name(params) == body`) — we draw edges
+//! in a *trigger graph*: `f -> g` when a quantifier triggered on a pattern
+//! headed by `f` produces, upon instantiation, a term headed by `g` that
+//! still contains a bound variable (i.e. a fresh ground term that can
+//! re-fire a trigger). A cycle in this graph is a potential matching loop:
+//! each instantiation round can feed the next, and only the rlimit stops it.
+//!
+//! Explicit triggers are taken as written; trigger-less quantifiers run the
+//! solver's real inference ([`infer_triggers_detailed`]) on a standalone
+//! [`TermStore`] — no solver is constructed. Definitional axioms of spec
+//! functions *with* a `decreases` measure are marked guarded (their
+//! unrolling is fuel-bounded), and a cycle consisting solely of guarded
+//! edges is not reported.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use veris_obs::{DiagItem, Diagnostic, Severity};
+use veris_smt::quant::{infer_triggers_detailed, TriggerPolicy};
+use veris_smt::term::{FuncId, SortId, TermId, TermStore};
+use veris_vir::expr::{call, free_vars, subst_vars, var, BinOp, Expr, ExprX, UnOp};
+use veris_vir::module::{FnBody, Krate, Mode};
+use veris_vir::ty::Ty;
+
+use crate::ids;
+
+/// One trigger-graph edge with its provenance.
+#[derive(Clone, Debug)]
+struct EdgeInfo {
+    qid: String,
+    module: String,
+    /// From a decreases-guarded definitional axiom (fuel-bounded unrolling).
+    guarded: bool,
+}
+
+/// A quantified axiom to analyze: binders, trigger groups (empty = infer),
+/// body, and provenance.
+struct QuantSource {
+    vars: Vec<(String, Ty)>,
+    triggers: Vec<Vec<Expr>>,
+    body: Expr,
+    qid: String,
+    module: String,
+    guarded: bool,
+}
+
+pub fn check(krate: &Krate) -> Vec<Diagnostic> {
+    let mut sources = Vec::new();
+    for m in &krate.modules {
+        for ax in &m.axioms {
+            collect_foralls(ax, &m.name, false, &mut sources);
+        }
+        for f in &m.functions {
+            // Model the definitional axiom the VC layer emits for each
+            // non-opaque spec function with a body:
+            //   forall params. { name(params) } name(params) == body
+            if f.mode != Mode::Spec || f.opaque {
+                continue;
+            }
+            let FnBody::SpecExpr(body) = &f.body else {
+                continue;
+            };
+            let vars: Vec<(String, Ty)> = f
+                .params
+                .iter()
+                .map(|p| (p.name.clone(), p.ty.clone()))
+                .collect();
+            let args: Vec<Expr> = f
+                .params
+                .iter()
+                .map(|p| var(&p.name, p.ty.clone()))
+                .collect();
+            let ret = f.ret.as_ref().map(|(_, t)| t.clone()).unwrap_or(Ty::Int);
+            let appl = call(&f.name, args, ret);
+            sources.push(QuantSource {
+                vars,
+                triggers: vec![vec![appl]],
+                body: body.clone(),
+                qid: format!("{}_def", f.name),
+                module: m.name.clone(),
+                guarded: f.decreases.is_some(),
+            });
+        }
+    }
+
+    let mut diags = Vec::new();
+    let mut adj: BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>> = BTreeMap::new();
+    for src in &sources {
+        let (groups, fallback) = trigger_groups(src);
+        if fallback {
+            diags.push(
+                Diagnostic::new(
+                    Severity::Warning,
+                    ids::TRIGGER_FALLBACK,
+                    src.module.clone(),
+                    format!(
+                        "quantifier `{}` has no inferable trigger (bound variables only \
+                         under interpreted ops); whole-body fallback is un-instantiable",
+                        src.qid
+                    ),
+                )
+                .with_items(vec![DiagItem::new("quantifier", src.qid.clone())]),
+            );
+        }
+        add_edges(src, &groups, &mut adj);
+    }
+
+    diags.extend(report_cycles(&adj));
+    diags
+}
+
+/// Collect every `forall` node (any nesting depth) of an axiom expression.
+fn collect_foralls(e: &Expr, module: &str, guarded: bool, out: &mut Vec<QuantSource>) {
+    if let ExprX::Quant {
+        forall: true,
+        vars,
+        triggers,
+        body,
+        qid,
+    } = &**e
+    {
+        out.push(QuantSource {
+            vars: vars.clone(),
+            triggers: triggers.clone(),
+            body: body.clone(),
+            qid: qid.clone(),
+            module: module.to_owned(),
+            guarded,
+        });
+    }
+    for c in veris_vir::expr::children(e) {
+        collect_foralls(&c, module, guarded, out);
+    }
+}
+
+/// The trigger groups of a source: explicit ones as written, otherwise the
+/// solver's inference run on a standalone term store. The bool reports the
+/// whole-body fallback (no covering candidate existed).
+fn trigger_groups(src: &QuantSource) -> (Vec<Vec<Expr>>, bool) {
+    if !src.triggers.is_empty() {
+        return (src.triggers.clone(), false);
+    }
+    let mut enc = Enc::new(&src.vars);
+    let body_t = enc.encode(&src.body);
+    let qvars: Vec<(u32, SortId)> = src
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, (_, t))| (i as u32, enc.sort(t)))
+        .collect();
+    let inferred = infer_triggers_detailed(&enc.store, &qvars, body_t, TriggerPolicy::Minimal);
+    if inferred.whole_body_fallback {
+        return (vec![], true);
+    }
+    let groups = inferred
+        .groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .filter_map(|t| enc.preimage.get(t).cloned())
+                .collect::<Vec<Expr>>()
+        })
+        .collect();
+    (groups, false)
+}
+
+/// Add trigger-graph edges for one quantifier given its trigger groups.
+fn add_edges(
+    src: &QuantSource,
+    groups: &[Vec<Expr>],
+    adj: &mut BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>>,
+) {
+    let qvar_names: BTreeSet<&str> = src.vars.iter().map(|(n, _)| n.as_str()).collect();
+    let mentions_qvar = |e: &Expr| {
+        free_vars(e)
+            .iter()
+            .any(|(n, _)| qvar_names.contains(n.as_str()))
+    };
+    // Heads that fire this quantifier.
+    let mut heads: BTreeSet<&str> = BTreeSet::new();
+    let all_patterns: Vec<&Expr> = groups.iter().flatten().collect();
+    for pat in &all_patterns {
+        if let ExprX::Call(name, _, _) = &***pat {
+            heads.insert(name.as_str());
+        }
+    }
+    if heads.is_empty() {
+        return;
+    }
+    // Symbols produced by instantiating the body: calls that still carry a
+    // bound variable and are not themselves one of the trigger patterns
+    // (the pattern is consumed by the match, not produced).
+    let mut produced: BTreeSet<String> = BTreeSet::new();
+    collect_produced(&src.body, &all_patterns, &mentions_qvar, &mut produced);
+    for h in heads {
+        for p in &produced {
+            adj.entry(h.to_owned())
+                .or_default()
+                .entry(p.clone())
+                .or_default()
+                .push(EdgeInfo {
+                    qid: src.qid.clone(),
+                    module: src.module.clone(),
+                    guarded: src.guarded,
+                });
+        }
+    }
+}
+
+fn collect_produced(
+    e: &Expr,
+    patterns: &[&Expr],
+    mentions_qvar: &dyn Fn(&Expr) -> bool,
+    out: &mut BTreeSet<String>,
+) {
+    if let ExprX::Call(name, _, _) = &**e {
+        let is_pattern = patterns.iter().any(|p| ***p == **e);
+        if !is_pattern && mentions_qvar(e) {
+            out.insert(name.clone());
+        }
+    }
+    for c in veris_vir::expr::children(e) {
+        collect_produced(&c, patterns, mentions_qvar, out);
+    }
+}
+
+/// Find strongly connected components with a cycle and report each one,
+/// unless every in-component edge is fuel-guarded.
+fn report_cycles(adj: &BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>>) -> Vec<Diagnostic> {
+    let sccs = tarjan(adj);
+    let mut diags = Vec::new();
+    for scc in sccs {
+        let members: BTreeSet<&str> = scc.iter().map(|s| s.as_str()).collect();
+        let mut inner: Vec<&EdgeInfo> = Vec::new();
+        let mut has_self_loop = false;
+        for (from, tos) in adj {
+            if !members.contains(from.as_str()) {
+                continue;
+            }
+            for (to, infos) in tos {
+                if members.contains(to.as_str()) {
+                    inner.extend(infos.iter());
+                    if from == to {
+                        has_self_loop = true;
+                    }
+                }
+            }
+        }
+        let cyclic = scc.len() > 1 || has_self_loop;
+        if !cyclic || inner.iter().all(|e| e.guarded) {
+            continue;
+        }
+        let path = cycle_path(adj, &members);
+        let mut qids: Vec<&str> = inner
+            .iter()
+            .filter(|e| !e.guarded)
+            .map(|e| e.qid.as_str())
+            .collect();
+        qids.sort_unstable();
+        qids.dedup();
+        let mut modules: Vec<&str> = inner.iter().map(|e| e.module.as_str()).collect();
+        modules.sort_unstable();
+        modules.dedup();
+        let mut items = vec![DiagItem::new("cycle", path.join(" -> "))];
+        for q in &qids {
+            items.push(DiagItem::new("axiom", (*q).to_owned()));
+        }
+        diags.push(
+            Diagnostic::new(
+                Severity::Warning,
+                ids::MATCHING_LOOP,
+                modules[0].to_owned(),
+                format!(
+                    "potential matching loop: instantiating {} can re-fire its own trigger \
+                     ({})",
+                    qids.join(", "),
+                    path.join(" -> ")
+                ),
+            )
+            .with_items(items),
+        );
+    }
+    diags
+}
+
+/// A concrete cycle path within an SCC: prefer the smallest self-looping
+/// node; otherwise a shortest cycle through the smallest member (BFS).
+fn cycle_path(
+    adj: &BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>>,
+    members: &BTreeSet<&str>,
+) -> Vec<String> {
+    for &n in members {
+        if adj.get(n).map(|t| t.contains_key(n)).unwrap_or(false) {
+            return vec![n.to_owned(), n.to_owned()];
+        }
+    }
+    let start = *members.iter().next().expect("non-empty SCC");
+    // BFS from start back to start, staying inside the SCC.
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        if let Some(tos) = adj.get(n) {
+            for to in tos.keys() {
+                if !members.contains(to.as_str()) {
+                    continue;
+                }
+                if to == start {
+                    let mut path = vec![start.to_owned()];
+                    let mut cur = n;
+                    let mut rev = vec![cur];
+                    while let Some(&p) = prev.get(cur) {
+                        rev.push(p);
+                        cur = p;
+                    }
+                    // rev ends at start; walk it backwards.
+                    for s in rev.iter().rev().skip(1) {
+                        path.push((*s).to_owned());
+                    }
+                    path.push(start.to_owned());
+                    return path;
+                }
+                if !prev.contains_key(to.as_str()) && to != start {
+                    prev.insert(to, n);
+                    queue.push_back(to);
+                }
+            }
+        }
+    }
+    vec![start.to_owned(), start.to_owned()]
+}
+
+/// Tarjan's SCC algorithm over the sorted adjacency map (deterministic
+/// component order: reverse topological, ties broken by sorted node order).
+fn tarjan(adj: &BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>>) -> Vec<Vec<String>> {
+    struct State<'a> {
+        adj: &'a BTreeMap<String, BTreeMap<String, Vec<EdgeInfo>>>,
+        index: BTreeMap<&'a str, usize>,
+        low: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        out: Vec<Vec<String>>,
+    }
+    fn strongconnect<'a>(v: &'a str, st: &mut State<'a>) {
+        st.index.insert(v, st.next);
+        st.low.insert(v, st.next);
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        if let Some(tos) = st.adj.get(v) {
+            for w in tos.keys() {
+                let w = w.as_str();
+                if !st.index.contains_key(w) {
+                    strongconnect(w, st);
+                    let lw = st.low[w];
+                    let lv = st.low[v];
+                    st.low.insert(v, lv.min(lw));
+                } else if st.on_stack.contains(w) {
+                    let iw = st.index[w];
+                    let lv = st.low[v];
+                    st.low.insert(v, lv.min(iw));
+                }
+            }
+        }
+        if st.low[v] == st.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(w);
+                comp.push(w.to_owned());
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort();
+            st.out.push(comp);
+        }
+    }
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, tos) in adj {
+        nodes.insert(from.as_str());
+        for to in tos.keys() {
+            nodes.insert(to.as_str());
+        }
+    }
+    let mut st = State {
+        adj,
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for n in nodes {
+        if !st.index.contains_key(n) {
+            strongconnect(n, &mut st);
+        }
+    }
+    st.out
+}
+
+// ----------------------------------------------------------------------
+// VIR -> TermStore encoding, just enough for trigger inference.
+// ----------------------------------------------------------------------
+
+/// Encodes a quantifier body into a standalone [`TermStore`] so the
+/// solver's trigger inference can run pre-solver. Types collapse to
+/// bool/int (trigger matching is structural); interpreted and collection
+/// operators become opaque applications, which is conservative: they are
+/// *matchable* heads only where the real encoder would also produce
+/// matchable terms (Apps, selectors, div/mod).
+struct Enc {
+    store: TermStore,
+    funcs: HashMap<(String, Vec<SortId>), FuncId>,
+    /// First VIR preimage of each created term, to map inferred trigger
+    /// patterns back to VIR expressions.
+    preimage: HashMap<TermId, Expr>,
+    bound: HashMap<String, (u32, SortId)>,
+}
+
+impl Enc {
+    fn new(vars: &[(String, Ty)]) -> Enc {
+        let mut e = Enc {
+            store: TermStore::new(),
+            funcs: HashMap::new(),
+            preimage: HashMap::new(),
+            bound: HashMap::new(),
+        };
+        for (i, (n, t)) in vars.iter().enumerate() {
+            let s = e.sort(t);
+            e.bound.insert(n.clone(), (i as u32, s));
+        }
+        e
+    }
+
+    fn sort(&self, t: &Ty) -> SortId {
+        match t {
+            Ty::Bool => self.store.bool_sort(),
+            _ => self.store.int_sort(),
+        }
+    }
+
+    fn app(&mut self, name: &str, args: Vec<TermId>, ret: SortId, pre: &Expr) -> TermId {
+        let arg_sorts: Vec<SortId> = args.iter().map(|&a| self.store.sort_of(a)).collect();
+        let key = (name.to_owned(), arg_sorts.clone());
+        let f = match self.funcs.get(&key) {
+            Some(&f) => f,
+            None => {
+                // Disambiguate same-name symbols whose collapsed sorts
+                // differ (rare; keeps TermStore redeclaration checks happy).
+                let mangled = if self.funcs.keys().any(|(n, _)| n == name) {
+                    format!("{name}#{}", self.funcs.len())
+                } else {
+                    name.to_owned()
+                };
+                let f = self.store.declare_fun(&mangled, arg_sorts, ret);
+                self.funcs.insert(key, f);
+                f
+            }
+        };
+        let t = self.store.mk_app(f, args);
+        self.preimage.entry(t).or_insert_with(|| pre.clone());
+        t
+    }
+
+    fn encode(&mut self, e: &Expr) -> TermId {
+        let t = self.encode_inner(e);
+        self.preimage.entry(t).or_insert_with(|| e.clone());
+        t
+    }
+
+    fn encode_inner(&mut self, e: &Expr) -> TermId {
+        match &**e {
+            ExprX::BoolLit(b) => self.store.mk_bool(*b),
+            ExprX::IntLit(v, _) => self.store.mk_int(*v),
+            ExprX::Var(n, t) => match self.bound.get(n) {
+                Some(&(i, s)) => self.store.mk_bound(i, s),
+                None => {
+                    let s = self.sort(t);
+                    self.store.mk_var(n, s)
+                }
+            },
+            ExprX::Old(n, t) => {
+                let s = self.sort(t);
+                self.store.mk_var(&format!("old!{n}"), s)
+            }
+            ExprX::Unary(UnOp::Not, a) => {
+                let a = self.encode(a);
+                self.store.mk_not(a)
+            }
+            ExprX::Unary(UnOp::Neg, a) => {
+                let a = self.encode(a);
+                self.store.mk_neg(a)
+            }
+            ExprX::Binary(op, a, b) => {
+                let ta = self.encode(a);
+                let tb = self.encode(b);
+                match op {
+                    BinOp::Add => self.store.mk_add(vec![ta, tb]),
+                    BinOp::Sub => self.store.mk_sub(ta, tb),
+                    BinOp::Mul => self.store.mk_mul(ta, tb),
+                    BinOp::Div => self.store.mk_int_div(ta, tb),
+                    BinOp::Mod => self.store.mk_int_mod(ta, tb),
+                    BinOp::And => self.store.mk_and(vec![ta, tb]),
+                    BinOp::Or => self.store.mk_or(vec![ta, tb]),
+                    BinOp::Implies => self.store.mk_implies(ta, tb),
+                    BinOp::Iff => self.store.mk_iff(ta, tb),
+                    BinOp::Eq => self.store.mk_eq(ta, tb),
+                    BinOp::Ne => {
+                        let eq = self.store.mk_eq(ta, tb);
+                        self.store.mk_not(eq)
+                    }
+                    BinOp::Lt => self.store.mk_lt(ta, tb),
+                    BinOp::Le => self.store.mk_le(ta, tb),
+                    BinOp::Gt => self.store.mk_gt(ta, tb),
+                    BinOp::Ge => self.store.mk_ge(ta, tb),
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr => {
+                        let s = self.sort(&e.ty());
+                        self.app(&format!("op:{op:?}"), vec![ta, tb], s, e)
+                    }
+                }
+            }
+            ExprX::Ite(c, t, f) => {
+                let c = self.encode(c);
+                let t = self.encode(t);
+                let f = self.encode(f);
+                self.store.mk_ite(c, t, f)
+            }
+            // Inline lets: trigger candidates are found in the expanded
+            // body, matching what the real encoder sees.
+            ExprX::Let(n, v, b) => {
+                let mut map = std::collections::HashMap::new();
+                map.insert(n.clone(), v.clone());
+                let inlined = subst_vars(b, &map);
+                self.encode(&inlined)
+            }
+            ExprX::Call(name, args, ret) => {
+                let targs: Vec<TermId> = args.iter().map(|a| self.encode(a)).collect();
+                let s = self.sort(ret);
+                self.app(name, targs, s, e)
+            }
+            // A nested quantifier is opaque to the outer trigger inference,
+            // but its free outer-bound variables must stay visible so
+            // coverage is computed correctly.
+            ExprX::Quant { qid, .. } => {
+                let mut captured: Vec<TermId> = Vec::new();
+                for (n, _) in free_vars(e) {
+                    if let Some(&(i, s)) = self.bound.get(&n) {
+                        captured.push(self.store.mk_bound(i, s));
+                    }
+                }
+                let b = self.store.bool_sort();
+                self.app(&format!("quant:{qid}"), captured, b, e)
+            }
+            // Collection, datatype, and tuple operators: opaque apps over
+            // their children, named after the operator.
+            _ => {
+                let kids = veris_vir::expr::children(e);
+                let targs: Vec<TermId> = kids.iter().map(|k| self.encode(k)).collect();
+                let s = self.sort(&e.ty());
+                let name = op_name(e);
+                self.app(&name, targs, s, e)
+            }
+        }
+    }
+}
+
+fn op_name(e: &Expr) -> String {
+    match &**e {
+        ExprX::SeqEmpty(_) => "seq.empty".into(),
+        ExprX::SeqSingleton(_) => "seq.singleton".into(),
+        ExprX::SeqLen(_) => "seq.len".into(),
+        ExprX::SeqIndex(..) => "seq.index".into(),
+        ExprX::SeqUpdate(..) => "seq.update".into(),
+        ExprX::SeqSkip(..) => "seq.skip".into(),
+        ExprX::SeqTake(..) => "seq.take".into(),
+        ExprX::SeqPush(..) => "seq.push".into(),
+        ExprX::SeqConcat(..) => "seq.concat".into(),
+        ExprX::MapEmpty(..) => "map.empty".into(),
+        ExprX::MapSel(..) => "map.sel".into(),
+        ExprX::MapContains(..) => "map.contains".into(),
+        ExprX::MapStore(..) => "map.store".into(),
+        ExprX::MapRemove(..) => "map.remove".into(),
+        ExprX::SetEmpty(_) => "set.empty".into(),
+        ExprX::SetMem(..) => "set.mem".into(),
+        ExprX::SetAdd(..) => "set.add".into(),
+        ExprX::SetRemove(..) => "set.remove".into(),
+        ExprX::Ctor(dt, v, _) => format!("ctor:{dt}.{v}"),
+        ExprX::Field(dt, v, f, _, _) => format!("sel:{dt}.{v}.{f}"),
+        ExprX::IsVariant(dt, v, _) => format!("is:{dt}.{v}"),
+        ExprX::TupleMk(es) => format!("tuple{}", es.len()),
+        ExprX::TupleField(i, _, _) => format!("tupfld{i}"),
+        ExprX::ExtEqual(..) => "ext-eq".into(),
+        other => format!("op:{other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veris_vir::expr::{forall, forall_trig, int, ExprExt};
+    use veris_vir::module::{Function, Module};
+
+    fn f_of(e: Expr) -> Expr {
+        call("f", vec![e], Ty::Int)
+    }
+
+    fn g_of(e: Expr) -> Expr {
+        call("g", vec![e], Ty::Int)
+    }
+
+    /// The known matching loop from `crates/vc/tests/rlimit.rs`: trigger
+    /// `f(x)`, body produces `f(g(x))` — a self-loop `f -> f`, flagged
+    /// statically with its cycle path and qid.
+    #[test]
+    fn runaway_growth_axiom_is_flagged() {
+        let x = var("x", Ty::Int);
+        let loop_ax = forall_trig(
+            vec![("x", Ty::Int)],
+            vec![vec![f_of(x.clone())]],
+            f_of(g_of(x.clone())).gt(f_of(x.clone())),
+            "runaway_growth",
+        );
+        let k = Krate::new().module(Module::new("m").axiom(loop_ax));
+        let diags = check(&k);
+        let loops: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == ids::MATCHING_LOOP)
+            .collect();
+        assert_eq!(loops.len(), 1, "{diags:?}");
+        let d = loops[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d
+            .items
+            .iter()
+            .any(|i| i.label == "cycle" && i.value == "f -> f"));
+        assert!(d
+            .items
+            .iter()
+            .any(|i| i.label == "axiom" && i.value == "runaway_growth"));
+    }
+
+    /// A benign axiom (`forall x. {f(x)} f(x) >= 0`) produces no fresh
+    /// terms, so there is no loop.
+    #[test]
+    fn non_producing_axiom_is_clean() {
+        let x = var("x", Ty::Int);
+        let ax = forall_trig(
+            vec![("x", Ty::Int)],
+            vec![vec![f_of(x.clone())]],
+            f_of(x.clone()).ge(int(0)),
+            "f_nonneg",
+        );
+        let k = Krate::new().module(Module::new("m").axiom(ax));
+        assert!(check(&k).is_empty(), "{:?}", check(&k));
+    }
+
+    /// Inference path: no explicit trigger; `infer_triggers` (Minimal)
+    /// picks the smallest covering candidate `f(x)`, and the body's fresh
+    /// `f(f(x))` closes the self-loop.
+    #[test]
+    fn inferred_trigger_loop_detected() {
+        let x = var("x", Ty::Int);
+        let ax = forall(
+            vec![("x", Ty::Int)],
+            f_of(f_of(x.clone())).gt(f_of(x.clone())),
+            "inferred_loop",
+        );
+        let k = Krate::new().module(Module::new("m").axiom(ax));
+        let diags = check(&k);
+        assert!(
+            diags.iter().any(|d| d.code == ids::MATCHING_LOOP),
+            "{diags:?}"
+        );
+    }
+
+    /// Two axioms forming a mutual loop `f -> g -> f` across qids.
+    #[test]
+    fn mutual_loop_reports_path() {
+        let x = var("x", Ty::Int);
+        let ax_fg = forall_trig(
+            vec![("x", Ty::Int)],
+            vec![vec![f_of(x.clone())]],
+            g_of(x.clone()).ge(int(0)),
+            "fires_g",
+        );
+        let ax_gf = forall_trig(
+            vec![("x", Ty::Int)],
+            vec![vec![g_of(x.clone())]],
+            f_of(x.clone()).ge(int(0)),
+            "fires_f",
+        );
+        let k = Krate::new().module(Module::new("m").axiom(ax_fg).axiom(ax_gf));
+        let diags = check(&k);
+        let d = diags
+            .iter()
+            .find(|d| d.code == ids::MATCHING_LOOP)
+            .expect("loop");
+        let cycle = d.items.iter().find(|i| i.label == "cycle").unwrap();
+        assert_eq!(cycle.value, "f -> g -> f");
+    }
+
+    /// A trigger-less quantifier whose bound variable sits only under
+    /// interpreted ops: the inference fallback fires and is reported.
+    #[test]
+    fn fallback_quantifier_warned() {
+        let x = var("x", Ty::Int);
+        let ax = forall(
+            vec![("x", Ty::Int)],
+            x.add(int(1)).gt(x.clone()),
+            "arith_only",
+        );
+        let k = Krate::new().module(Module::new("m").axiom(ax));
+        let diags = check(&k);
+        assert!(
+            diags.iter().any(|d| d.code == ids::TRIGGER_FALLBACK),
+            "{diags:?}"
+        );
+    }
+
+    /// A recursive spec fn with decreases: its definitional self-loop is
+    /// fuel-guarded and not reported.
+    #[test]
+    fn guarded_def_axiom_not_reported() {
+        let x = var("x", Ty::Int);
+        let f = Function::new("fac", Mode::Spec)
+            .param("x", Ty::Int)
+            .returns("r", Ty::Int)
+            .decreases(x.clone())
+            .spec_body(veris_vir::expr::ite(
+                x.le(int(0)),
+                int(1),
+                x.mul(call("fac", vec![x.sub(int(1))], Ty::Int)),
+            ));
+        let k = Krate::new().module(Module::new("m").func(f));
+        let diags = check(&k);
+        assert!(
+            !diags.iter().any(|d| d.code == ids::MATCHING_LOOP),
+            "{diags:?}"
+        );
+    }
+}

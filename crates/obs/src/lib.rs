@@ -21,17 +21,22 @@
 //! * [`session`] — incremental-verification counters ([`SessionStats`]):
 //!   module solver sessions opened, context re-encodings avoided, and
 //!   result-cache hits/misses, surfaced in reports and the macro table.
+//! * [`lint`] — pre-solver static-analysis counters ([`LintStats`]):
+//!   error/warning/note findings from the veris-lint framework and how many
+//!   were suppressed by `allow` attributes.
 //!
 //! The crate is a dependency leaf: pure `std`, no solver types, so every
 //! layer of the pipeline can use it without cycles.
 
 pub mod diag;
+pub mod lint;
 pub mod meter;
 pub mod quant;
 pub mod session;
 pub mod trace;
 
 pub use diag::{json_escape, to_jsonl, DiagItem, Diagnostic, Severity};
+pub use lint::LintStats;
 pub use meter::{Counter, MeterSnapshot, ResourceMeter};
 pub use quant::{QuantProfile, QuantStats};
 pub use session::SessionStats;

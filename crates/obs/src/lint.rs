@@ -1,0 +1,95 @@
+//! Pre-solver static-analysis counters.
+//!
+//! The lint framework (veris-lint) runs over a VIR krate before any solver
+//! is constructed; these counters summarize what it found so `profile`, the
+//! Fig 9 macro table, and the `lint` bin can report lint volume alongside
+//! solver work.
+
+/// Counters for one lint run over a krate. Plain values; merged with
+/// [`LintStats::add`] when aggregating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Error-severity findings (these gate verification: the function is
+    /// reported `Failed` without constructing a solver).
+    pub errors: u64,
+    /// Warning-severity findings (potential matching loops, suspicious
+    /// decreases measures, possibly-vacuous requires).
+    pub warnings: u64,
+    /// Note-severity findings (advisory reports, e.g. quantifier
+    /// alternation edges).
+    pub notes: u64,
+    /// Findings dropped by an `allow(lint-id)` suppression on the function.
+    pub suppressed: u64,
+}
+
+impl LintStats {
+    pub fn new() -> LintStats {
+        LintStats::default()
+    }
+
+    /// Element-wise sum, for merging.
+    pub fn add(&self, other: &LintStats) -> LintStats {
+        LintStats {
+            errors: self.errors + other.errors,
+            warnings: self.warnings + other.warnings,
+            notes: self.notes + other.notes,
+            suppressed: self.suppressed + other.suppressed,
+        }
+    }
+
+    /// Total emitted findings (suppressed ones are not emitted).
+    pub fn total(&self) -> u64 {
+        self.errors + self.warnings + self.notes
+    }
+
+    /// Human-readable two-column table.
+    pub fn render(&self) -> String {
+        format!(
+            "  {:<22} {}\n  {:<22} {}\n  {:<22} {}\n  {:<22} {}\n",
+            "lint-errors",
+            self.errors,
+            "lint-warnings",
+            self.warnings,
+            "lint-notes",
+            self.notes,
+            "lint-suppressed",
+            self.suppressed,
+        )
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"notes\":{},\"suppressed\":{}}}",
+            self.errors, self.warnings, self.notes, self.suppressed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_total_render() {
+        let a = LintStats {
+            errors: 1,
+            warnings: 2,
+            notes: 3,
+            suppressed: 1,
+        };
+        let b = LintStats {
+            errors: 0,
+            warnings: 1,
+            notes: 0,
+            suppressed: 2,
+        };
+        let c = a.add(&b);
+        assert_eq!(c.errors, 1);
+        assert_eq!(c.warnings, 3);
+        assert_eq!(c.notes, 3);
+        assert_eq!(c.suppressed, 3);
+        assert_eq!(c.total(), 7);
+        assert!(c.render().contains("lint-suppressed"));
+        assert!(c.to_json().contains("\"warnings\":3"));
+    }
+}

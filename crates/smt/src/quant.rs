@@ -58,17 +58,30 @@ fn term_size(store: &TermStore, t: TermId) -> usize {
         .sum::<usize>()
 }
 
+/// Outcome of trigger inference, with the fallback made explicit.
+#[derive(Clone, Debug)]
+pub struct InferredTriggers {
+    pub groups: Vec<Vec<TermId>>,
+    /// No covering candidate existed (every bound-variable occurrence sits
+    /// under interpreted ops), so the whole quantifier body was used as the
+    /// trigger of last resort. Such a trigger has no matchable head, so the
+    /// quantifier stays un-instantiable — but the condition is now a defined,
+    /// observable outcome callers can warn about instead of a silent empty
+    /// trigger set.
+    pub whole_body_fallback: bool,
+}
+
 /// Infer trigger groups for a quantifier over `vars` with the given body.
 ///
-/// Every returned group covers all bound variables. Returns an empty vec if
-/// no covering set exists (the quantifier is then un-instantiable by
-/// e-matching).
-pub fn infer_triggers(
+/// Every returned group covers all bound variables. When no covering set
+/// exists the whole body becomes the single trigger group and
+/// [`InferredTriggers::whole_body_fallback`] is set.
+pub fn infer_triggers_detailed(
     store: &TermStore,
     vars: &[(u32, SortId)],
     body: TermId,
     policy: TriggerPolicy,
-) -> Vec<Vec<TermId>> {
+) -> InferredTriggers {
     let mut cands = Vec::new();
     candidates(store, body, &mut cands);
     // Drop candidates that are strictly contained in another candidate with
@@ -85,7 +98,7 @@ pub fn infer_triggers(
         .copied()
         .filter(|&t| covers(t).len() == var_set.len())
         .collect();
-    match policy {
+    let groups = match policy {
         TriggerPolicy::Broad => {
             let mut groups: Vec<Vec<TermId>> = full.iter().map(|&t| vec![t]).collect();
             if groups.is_empty() {
@@ -104,7 +117,29 @@ pub fn infer_triggers(
                 vec![]
             }
         }
+    };
+    if groups.is_empty() {
+        InferredTriggers {
+            groups: vec![vec![body]],
+            whole_body_fallback: true,
+        }
+    } else {
+        InferredTriggers {
+            groups,
+            whole_body_fallback: false,
+        }
     }
+}
+
+/// Trigger groups only (see [`infer_triggers_detailed`] for the fallback
+/// flag).
+pub fn infer_triggers(
+    store: &TermStore,
+    vars: &[(u32, SortId)],
+    body: TermId,
+    policy: TriggerPolicy,
+) -> Vec<Vec<TermId>> {
+    infer_triggers_detailed(store, vars, body, policy).groups
 }
 
 /// Greedy multi-pattern cover: pick candidates until all vars are covered.
@@ -445,6 +480,44 @@ mod tests {
         let trig = infer_triggers(&s, &[(0, int), (1, int)], body, TriggerPolicy::Minimal);
         assert_eq!(trig.len(), 1);
         assert_eq!(trig[0].len(), 2);
+    }
+
+    #[test]
+    fn infer_fallback_whole_body_when_no_candidate() {
+        // forall x. x + 1 > 0: the only occurrence of x is under an
+        // interpreted op, so there is no app candidate. The fallback must
+        // return the whole body as the trigger and set the flag.
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let x = s.mk_bound(0, int);
+        let one = s.mk_int(1);
+        let zero = s.mk_int(0);
+        let x1 = s.mk_add(vec![x, one]);
+        let body = s.mk_gt(x1, zero);
+        for policy in [TriggerPolicy::Minimal, TriggerPolicy::Broad] {
+            let inf = infer_triggers_detailed(&s, &[(0, int)], body, policy);
+            assert!(inf.whole_body_fallback, "{policy:?}");
+            assert_eq!(inf.groups, vec![vec![body]], "{policy:?}");
+            // The legacy entry point agrees with the detailed one.
+            assert_eq!(infer_triggers(&s, &[(0, int)], body, policy), inf.groups);
+        }
+        // The fallback trigger has no matchable head, so e-matching still
+        // produces no instantiations — but the outcome is defined.
+        assert_eq!(pattern_head(&s, body), None);
+    }
+
+    #[test]
+    fn infer_no_fallback_when_candidates_cover() {
+        let mut s = TermStore::new();
+        let int = s.int_sort();
+        let f = s.declare_fun("f", vec![int], int);
+        let x = s.mk_bound(0, int);
+        let fx = s.mk_app(f, vec![x]);
+        let zero = s.mk_int(0);
+        let body = s.mk_ge(fx, zero);
+        let inf = infer_triggers_detailed(&s, &[(0, int)], body, TriggerPolicy::Minimal);
+        assert!(!inf.whole_body_fallback);
+        assert_eq!(inf.groups, vec![vec![fx]]);
     }
 
     #[test]

@@ -26,7 +26,9 @@ use crate::wp::WpResult;
 
 /// Bump whenever the entry format *or* the meaning of any fingerprinted
 /// input changes; old entries then miss instead of deserializing garbage.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// v2: the fingerprint gained the lint component (findings + `allow`
+/// suppressions), and the driver gates on error-severity lints.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 // ----------------------------------------------------------------------
 // Fingerprinting
@@ -47,11 +49,20 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
 /// Covers, in order: the cache schema version; every solver-relevant knob
 /// of the configuration; the full content of each visible module (module
 /// axioms, datatypes, and function bodies all feed the encoded context —
-/// `Debug` on VIR is structural and deterministic); and the WP output for
-/// the function (goal, hypotheses, invariant markers, side obligations,
-/// assignment events). Two 64-bit FNV-1a passes with different bases give
-/// a 128-bit name — collisions would need ~2^64 distinct queries.
-pub fn fingerprint(visible: &[&Module], fname: &str, wp: &WpResult, cfg: &VcConfig) -> String {
+/// `Debug` on VIR is structural and deterministic); the function's lint
+/// component ([`veris_lint::cache_component`] — findings and `allow`
+/// suppressions, so flipping either invalidates the entry); and the WP
+/// output for the function (goal, hypotheses, invariant markers, side
+/// obligations, assignment events). Two 64-bit FNV-1a passes with
+/// different bases give a 128-bit name — collisions would need ~2^64
+/// distinct queries.
+pub fn fingerprint(
+    visible: &[&Module],
+    fname: &str,
+    wp: &WpResult,
+    cfg: &VcConfig,
+    lint: &str,
+) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "schema={CACHE_SCHEMA_VERSION};style={:?};rlimit={:?};timeout={:?};epr={};mqr={:?};maxgen={:?};provers={};",
@@ -67,6 +78,7 @@ pub fn fingerprint(visible: &[&Module], fname: &str, wp: &WpResult, cfg: &VcConf
         s.push_str(&format!("module {}\n{:?}\n", m.name, m));
     }
     s.push_str(&format!("fn {fname}\n"));
+    s.push_str(lint);
     s.push_str(&format!(
         "hyps={:?}\ngoal={:?}\nmarkers={:?}\nsides={:?}\nassigns={:?}\n",
         wp.hypotheses, wp.goal, wp.inv_markers, wp.side_obligations, wp.assigns
@@ -431,7 +443,10 @@ mod tests {
     #[test]
     fn version_mismatch_and_garbage_miss() {
         let rep = sample_report();
-        let text = render_entry(&rep).replace("veris-cache\t1", "veris-cache\t999");
+        let text = render_entry(&rep).replace(
+            &format!("veris-cache\t{CACHE_SCHEMA_VERSION}"),
+            "veris-cache\t999",
+        );
         assert!(parse_entry(&text).is_none());
         assert!(parse_entry("not a cache entry").is_none());
         // Truncated entry (no `end`) must miss, not half-parse.

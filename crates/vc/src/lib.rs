@@ -29,7 +29,8 @@ pub use verify::{
     ProverRegistry, Status, VcConfig,
 };
 // Observability types surfaced in reports, re-exported for downstream use.
+pub use veris_lint::{lint_krate, LintReport};
 pub use veris_obs::{
-    MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, SessionStats, TimeTree,
+    LintStats, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter, SessionStats, TimeTree,
 };
 pub use wp::{vc_for_function, SideObligation, WpResult};

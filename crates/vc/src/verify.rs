@@ -15,8 +15,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use veris_lint::{ids as lint_ids, LintReport};
 use veris_obs::{
-    time, DiagItem, Diagnostic, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter,
+    time, DiagItem, Diagnostic, LintStats, MeterSnapshot, PhaseTimes, QuantProfile, ResourceMeter,
     SessionStats, Severity, TimeTree,
 };
 use veris_smt::quant::TriggerPolicy;
@@ -233,9 +234,12 @@ pub struct KrateReport {
     /// Incremental-verification counters: sessions opened, context
     /// re-encodings avoided, cache hits/misses.
     pub sessions: SessionStats,
-    /// Krate-level lints (e.g. a spec function axiomatized in more than
-    /// one module session of this run).
+    /// Krate-level lints: the pre-solver static-analysis findings
+    /// (veris-lint), followed by run-derived lints (e.g. a spec function
+    /// axiomatized in more than one module session).
     pub lints: Vec<Diagnostic>,
+    /// Counters for the pre-solver lint pass (including run-derived lints).
+    pub lint_stats: LintStats,
 }
 
 impl KrateReport {
@@ -403,7 +407,7 @@ fn check_function(
         SmtResult::Unsat => {
             if let Some(core) = solver.unsat_core() {
                 hyps_used = core.len();
-                diagnostics.extend(core_diagnostics(fname, solver, core));
+                diagnostics.extend(core_diagnostics(krate, fname, solver, core));
             }
             Status::Verified
         }
@@ -484,9 +488,29 @@ impl QueryRun {
     }
 }
 
+/// The report for a function gated out by error-severity lints: `Failed`
+/// with the offending codes, the findings as diagnostics, and no solver
+/// work at all. Shared by [`verify_function`] and [`verify_krate`] so the
+/// two paths stay verdict-identical.
+fn lint_gate_report(fname: &str, errors: &[&Diagnostic], time: Duration) -> FnReport {
+    let mut codes: Vec<&str> = errors.iter().map(|d| d.code.as_str()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    let mut rep = FnReport::empty(
+        fname,
+        Status::Failed(format!("lint: {}", codes.join(", "))),
+        time,
+    );
+    rep.diagnostics = errors.iter().map(|&d| d.clone()).collect();
+    rep
+}
+
 /// Verify one function by name, with a fresh solver (no session reuse, no
 /// cache). This is the reference semantics the incremental paths in
 /// [`verify_krate`] are required to reproduce byte-for-byte.
+///
+/// Error-severity lint findings gate the function: it reports `Failed`
+/// before any solver is constructed (same verdict as [`verify_krate`]).
 pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
     let t0 = Instant::now();
     let (module, f) = krate
@@ -495,6 +519,11 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
     // Nothing to check for trusted or abstract functions.
     if f.trusted || matches!(f.body, FnBody::Abstract) {
         return FnReport::empty(fname, Status::Verified, t0.elapsed());
+    }
+    let lint = veris_lint::lint_krate(krate);
+    let errors = lint.errors_for(fname);
+    if !errors.is_empty() {
+        return lint_gate_report(fname, &errors, t0.elapsed());
     }
     // One meter per function: charges are independent of how many sibling
     // functions run concurrently, so rlimit verdicts survive `threads = N`.
@@ -526,8 +555,14 @@ pub fn verify_function(krate: &Krate, fname: &str, cfg: &VcConfig) -> FnReport {
 /// Diagnostics derived from an unsat core: the used-hypothesis set, plus
 /// an unused-precondition/invariant lint when a user-written hypothesis
 /// (a `requires` clause or a loop invariant) never participated in the
-/// refutation.
-fn core_diagnostics(fname: &str, solver: &Solver, core: &[String]) -> Vec<Diagnostic> {
+/// refutation. The lint carries the stable veris-lint ID
+/// ([`lint_ids::UNUSED_HYPOTHESIS`]) and honors `Function::allow`.
+fn core_diagnostics(
+    krate: &Krate,
+    fname: &str,
+    solver: &Solver,
+    core: &[String],
+) -> Vec<Diagnostic> {
     let all = solver.hypothesis_labels();
     let mut out = Vec::new();
     out.push(
@@ -543,17 +578,20 @@ fn core_diagnostics(fname: &str, solver: &Solver, core: &[String]) -> Vec<Diagno
         )
         .with_items(core.iter().map(|l| DiagItem::new(l.clone(), "")).collect()),
     );
+    let allowed = krate
+        .find_function(fname)
+        .is_some_and(|(_, f)| f.allows_lint(lint_ids::UNUSED_HYPOTHESIS));
     let unused: Vec<&String> = all
         .iter()
         .filter(|l| {
             (l.starts_with("requires#") || l.starts_with("invariant#")) && !core.contains(l)
         })
         .collect();
-    if !unused.is_empty() {
+    if !unused.is_empty() && !allowed {
         out.push(
             Diagnostic::new(
                 Severity::Warning,
-                "unused-hypothesis",
+                lint_ids::UNUSED_HYPOTHESIS,
                 fname,
                 format!(
                     "{} user-written hypothes{} never used by the proof",
@@ -720,6 +758,7 @@ fn run_module_group(
     krate: &Krate,
     group: &ModuleGroup,
     cfg: &VcConfig,
+    lint: &LintReport,
 ) -> (Vec<(usize, FnReport)>, SessionStats, HashSet<String>) {
     let mut stats = SessionStats::new();
     let mut sess: Option<ModuleSession> = None;
@@ -731,7 +770,8 @@ fn run_module_group(
         let wp = time(&mut phases.vir, || vc_for_function(krate, f));
         let fp = cfg.cache_dir.as_ref().map(|_| {
             let visible = cache::visible_modules(krate, group.module, cfg);
-            cache::fingerprint(&visible, fname, &wp, cfg)
+            let lint_key = veris_lint::cache_component(lint, f);
+            cache::fingerprint(&visible, fname, &wp, cfg, &lint_key)
         });
         if let (Some(dir), Some(fp)) = (&cfg.cache_dir, &fp) {
             if let Some(mut rep) = cache::load(dir, fp) {
@@ -775,8 +815,15 @@ fn run_module_group(
 /// Report order is the original crate order regardless of schedule.
 pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateReport {
     let t0 = Instant::now();
+    // Pre-solver static analysis gates the run: a function with
+    // error-severity findings is reported `Failed` without a solver, and
+    // the findings feed every function's cache fingerprint.
+    let lint = veris_lint::lint_krate(krate);
     // Group verifiable functions by module, preserving crate order.
+    // Lint-gated functions get a slot but never reach a session.
     let mut groups: Vec<ModuleGroup> = Vec::new();
+    let mut gated: Vec<(usize, String)> = Vec::new();
+    let mut slotted: HashSet<&str> = HashSet::new();
     let mut slot = 0usize;
     for module in &krate.modules {
         let fns: Vec<(usize, String)> = module
@@ -787,7 +834,16 @@ pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateRepor
             .map(|f| {
                 let s = slot;
                 slot += 1;
+                slotted.insert(f.name.as_str());
                 (s, f.name.clone())
+            })
+            .filter(|(s, name)| {
+                if lint.errors_for(name).is_empty() {
+                    true
+                } else {
+                    gated.push((*s, name.clone()));
+                    false
+                }
             })
             .collect();
         if fns.is_empty() {
@@ -814,7 +870,7 @@ pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateRepor
     let mut axiom_sets: Vec<HashSet<String>> = Vec::new();
     if threads <= 1 {
         for g in &groups {
-            let (reps, stats, axiomed) = run_module_group(krate, g, cfg);
+            let (reps, stats, axiomed) = run_module_group(krate, g, cfg, &lint);
             for (i, r) in reps {
                 reports[i] = Some(r);
             }
@@ -824,6 +880,7 @@ pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateRepor
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let groups = &groups;
+        let lint_ref = &lint;
         let worker_results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
@@ -835,7 +892,7 @@ pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateRepor
                         if gi >= groups.len() {
                             break;
                         }
-                        out.push(run_module_group(krate, &groups[gi], cfg));
+                        out.push(run_module_group(krate, &groups[gi], cfg, lint_ref));
                     }
                     out
                 }));
@@ -854,15 +911,44 @@ pub fn verify_krate(krate: &Krate, cfg: &VcConfig, threads: usize) -> KrateRepor
             axiom_sets.push(axiomed);
         }
     }
-    let functions: Vec<FnReport> = reports
+    // Lint-gated slots: `Failed` with the findings, no solver constructed.
+    for (i, fname) in &gated {
+        let errors = lint.errors_for(fname);
+        reports[*i] = Some(lint_gate_report(fname, &errors, Duration::ZERO));
+    }
+    let mut functions: Vec<FnReport> = reports
         .into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect();
+    // A function outside the verification set (e.g. a decreases-less
+    // recursive spec function with no contract) must still fail the run
+    // when it carries error lints — soundness depends on it.
+    for (_, f) in krate.all_functions() {
+        if f.trusted || slotted.contains(f.name.as_str()) {
+            continue;
+        }
+        let errors = lint.errors_for(&f.name);
+        if !errors.is_empty() {
+            functions.push(lint_gate_report(&f.name, &errors, Duration::ZERO));
+        }
+    }
+    let mut lints = lint.diagnostics.clone();
+    let run_lints = redundancy_lint(&axiom_sets);
+    let mut lint_stats = lint.stats;
+    for d in &run_lints {
+        match d.severity {
+            Severity::Error => lint_stats.errors += 1,
+            Severity::Warning => lint_stats.warnings += 1,
+            Severity::Note => lint_stats.notes += 1,
+        }
+    }
+    lints.extend(run_lints);
     KrateReport {
         functions,
         wall_time: t0.elapsed(),
         sessions,
-        lints: redundancy_lint(&axiom_sets),
+        lints,
+        lint_stats,
     }
 }
 
@@ -885,7 +971,7 @@ fn redundancy_lint(axiom_sets: &[HashSet<String>]) -> Vec<Diagnostic> {
     }
     let diag = Diagnostic::new(
         Severity::Note,
-        "redundant-spec-axiom",
+        lint_ids::REDUNDANT_SPEC_AXIOM,
         "krate",
         format!(
             "{} spec function{} axiomatized in more than one module session",

@@ -62,6 +62,10 @@ pub struct WpCtx<'a> {
     krate: &'a Krate,
     fresh: u32,
     exec: bool,
+    /// Name and termination measure of the function being verified, for
+    /// the self-recursive-call decrease check.
+    fn_name: String,
+    fn_decreases: Option<Expr>,
     side_obligations: Vec<SideObligation>,
     assigns: Vec<AssignEvent>,
     inv_markers: Vec<(String, String)>,
@@ -73,6 +77,8 @@ impl<'a> WpCtx<'a> {
             krate,
             fresh: 0,
             exec: false,
+            fn_name: String::new(),
+            fn_decreases: None,
             side_obligations: Vec::new(),
             assigns: Vec::new(),
             inv_markers: Vec::new(),
@@ -84,9 +90,25 @@ impl<'a> WpCtx<'a> {
         format!("{base}!{}", self.fresh)
     }
 
+    /// Termination-measure plumbing shared by the loop rule and the
+    /// self-recursive-call rule: snapshot `measure_now` into a fresh
+    /// `decreases!n` variable `d0`. Returns `(pre, post)` where `pre` pins
+    /// the snapshot and its non-negativity (`measure_now == d0 &&
+    /// measure_now >= 0`) and `post` demands the strict drop
+    /// (`measure_next < d0`).
+    fn decreases_obligation(&mut self, measure_now: &Expr, measure_next: &Expr) -> (Expr, Expr) {
+        let d0 = var(&self.fresh_name("decreases"), Ty::Int);
+        (
+            measure_now.eq_e(d0.clone()).and(measure_now.ge(int(0))),
+            measure_next.lt(d0),
+        )
+    }
+
     /// Generate the VC for a function.
     pub fn function_vc(mut self, f: &Function) -> WpResult {
         self.exec = f.mode == Mode::Exec;
+        self.fn_name = f.name.clone();
+        self.fn_decreases = f.decreases.clone();
         // Build the return-postcondition: conjunction of ensures.
         let ret_post = and_all(f.ensures.clone());
         let vc = match &f.body {
@@ -281,17 +303,13 @@ impl<'a> WpCtx<'a> {
                     }
                 }
                 let havoc_range = and_all(havoc_ranges);
-                // Termination measure.
+                // Termination measure: snapshot the havocked measure; after
+                // the body, the measure re-evaluated in the new state must
+                // drop below the snapshot.
                 let (dec_pre, dec_post) = match decreases {
                     Some(d) => {
                         let d_h = veris_vir::expr::subst_vars(d, &havoc);
-                        let d0 = var(&self.fresh_name("decreases"), Ty::Int);
-                        (
-                            d_h.eq_e(d0.clone()).and(d_h.ge(int(0))),
-                            // After the body, the measure evaluated in the
-                            // new state must be below d0.
-                            d.lt(d0),
-                        )
+                        self.decreases_obligation(&d_h, d)
                     }
                     None => (tru(), tru()),
                 };
@@ -335,6 +353,18 @@ impl<'a> WpCtx<'a> {
                         .map(|r| veris_vir::expr::subst_vars(r, &arg_map))
                         .collect(),
                 );
+                // Self-recursive call with a termination measure: the
+                // measure re-evaluated at the arguments must drop strictly
+                // below its current value (same plumbing as the loop rule).
+                let dec_call = match (&self.fn_decreases, func == &self.fn_name) {
+                    (Some(d), true) => {
+                        let d = d.clone();
+                        let callee_m = veris_vir::expr::subst_vars(&d, &arg_map);
+                        let (pre, post) = self.decreases_obligation(&d, &callee_m);
+                        pre.implies(post)
+                    }
+                    _ => tru(),
+                };
                 // Post-state: fresh return value and fresh values for &mut
                 // arguments.
                 let mut rest_map: HashMap<String, Expr> = HashMap::new();
@@ -387,7 +417,7 @@ impl<'a> WpCtx<'a> {
                 if let Some((d, _)) = dest {
                     self.assigns.push(AssignEvent { var: d.clone() });
                 }
-                wf_args.and(req).and(ens.implies(rest2))
+                wf_args.and(req).and(dec_call).and(ens.implies(rest2))
             }
             Stmt::Return(e) => match e {
                 Some(e) => {

@@ -67,6 +67,8 @@ pub struct Function {
     pub opaque: bool,
     /// Trusted functions contribute to the trusted line count (Fig 9).
     pub trusted: bool,
+    /// Lint IDs suppressed on this function (`#[allow(lint_id)]`).
+    pub allows: Vec<String>,
 }
 
 impl Function {
@@ -82,6 +84,7 @@ impl Function {
             body: FnBody::Abstract,
             opaque: false,
             trusted: false,
+            allows: Vec::new(),
         }
     }
 
@@ -133,6 +136,17 @@ impl Function {
     pub fn trusted(mut self) -> Function {
         self.trusted = true;
         self
+    }
+
+    /// Suppress a lint (by stable ID) on this function.
+    pub fn allow(mut self, lint_id: &str) -> Function {
+        self.allows.push(lint_id.to_owned());
+        self
+    }
+
+    /// Whether a lint ID is suppressed on this function.
+    pub fn allows_lint(&self, lint_id: &str) -> bool {
+        self.allows.iter().any(|a| a == lint_id)
     }
 }
 
