@@ -840,5 +840,181 @@ pub mod baseline {
     }
 }
 
+/// Per-system performance record for the incremental solver kernels.
+///
+/// The committed `BENCH_perf.json` records, per system, the deterministic
+/// budgeted meter total (identical to the baseline's — the kernel-parity
+/// invariant), the informational kernel-reuse counters (`ematch_skipped`
+/// match candidates served from e-matching watermarks, `theory_reuse`
+/// registration plans replayed from the theory cache), and an
+/// *informational* wall-clock figure. CI regenerates the file and fails
+/// only on >10% `meter_units` drift, exactly as `baseline --check`; wall
+/// clock and the reuse counters are recorded but never gated.
+pub mod perf {
+    use super::*;
+    use crate::baseline::{BASELINE_RLIMIT, DRIFT_TOLERANCE_PCT};
+    use crate::casestudy;
+    use veris_vc::{verify_krate, Status};
+
+    pub struct PerfRow {
+        pub system: String,
+        pub meter_units: u64,
+        pub quant_insts: u64,
+        pub functions: usize,
+        pub verified: usize,
+        /// Match candidates the watermark caches served without re-running
+        /// e-matching (informational; zero under `--batch`).
+        pub ematch_skipped: u64,
+        /// Subterm-registration plans replayed from the theory kernel cache
+        /// instead of re-walking the term DAG (informational; zero under
+        /// `--batch`).
+        pub theory_reuse: u64,
+        /// Wall-clock milliseconds for the crate verification. Recorded for
+        /// the committed file but never part of any check.
+        pub wall_ms: u128,
+    }
+
+    /// Verify the named systems at 1 thread under the baseline rlimit
+    /// budget, recording wall clock alongside the meter totals. `batch`
+    /// forces the pre-incremental kernels (the escape hatch the
+    /// kernel-parity test pins): the reuse counters stay zero while every
+    /// budgeted quantity is identical.
+    pub fn measure_systems(names: &[&str], batch: bool) -> Vec<PerfRow> {
+        names
+            .iter()
+            .map(|&name| {
+                let cfg = cfg_for(Style::Verus)
+                    .with_rlimit(BASELINE_RLIMIT)
+                    .with_batch_kernels(batch);
+                let krate = casestudy::krate(name).expect("known case study");
+                let t0 = Instant::now();
+                let report = verify_krate(&krate, &cfg, 1);
+                let wall_ms = t0.elapsed().as_millis();
+                let m = report.total_meter();
+                PerfRow {
+                    system: name.to_owned(),
+                    meter_units: m.total(),
+                    quant_insts: report.merged_profile().total_instantiations(),
+                    functions: report.functions.len(),
+                    verified: report
+                        .functions
+                        .iter()
+                        .filter(|f| matches!(f.status, Status::Verified))
+                        .count(),
+                    ematch_skipped: m.ematch_skipped,
+                    theory_reuse: m.theory_reuse,
+                    wall_ms,
+                }
+            })
+            .collect()
+    }
+
+    /// [`measure_systems`] over every Fig 9 case study.
+    pub fn measure(batch: bool) -> Vec<PerfRow> {
+        measure_systems(&casestudy::NAMES, batch)
+    }
+
+    /// Render rows as the committed JSON. `meter_units` is deliberately the
+    /// first key of each system object so [`baseline::parse_meter_units`]
+    /// (which scans for `"<name>":{"meter_units":`) works on this file too.
+    pub fn render(rows: &[PerfRow]) -> String {
+        let systems: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "\"{}\":{{\"meter_units\":{},\"quant_insts\":{},\"functions\":{},\"verified\":{},\"ematch_skipped\":{},\"theory_reuse\":{},\"wall_ms\":{}}}",
+                    r.system,
+                    r.meter_units,
+                    r.quant_insts,
+                    r.functions,
+                    r.verified,
+                    r.ematch_skipped,
+                    r.theory_reuse,
+                    r.wall_ms
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\":{},\"rlimit\":{},\"systems\":{{{}}}}}\n",
+            explain::SCHEMA_VERSION,
+            BASELINE_RLIMIT,
+            systems.join(",")
+        )
+    }
+
+    /// Human-readable table of `rows` (optionally paired with a batch run
+    /// for the before/after comparison).
+    pub fn render_table(rows: &[PerfRow], batch: Option<&[PerfRow]>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>10} {:>13} {:>12} {:>8}{}",
+            "system",
+            "meter_units",
+            "insts",
+            "ematch_skip",
+            "theory_reuse",
+            "wall_ms",
+            if batch.is_some() { "  batch_ms" } else { "" }
+        );
+        for r in rows {
+            let _ = write!(
+                out,
+                "{:<12} {:>12} {:>10} {:>13} {:>12} {:>8}",
+                r.system, r.meter_units, r.quant_insts, r.ematch_skipped, r.theory_reuse, r.wall_ms
+            );
+            if let Some(b) = batch {
+                if let Some(br) = b.iter().find(|b| b.system == r.system) {
+                    let _ = write!(out, " {:>9}", br.wall_ms);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Path of the committed perf record at the repo root.
+    pub fn committed_path() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")
+    }
+
+    /// Meter-unit drift check against the committed file, with the same
+    /// tolerance as the baseline check. Wall clock and the informational
+    /// reuse counters are never compared.
+    pub fn drift_failures(committed: &[(String, u64)], fresh: &[PerfRow]) -> Vec<String> {
+        let mut failures = Vec::new();
+        for row in fresh {
+            let Some((_, base)) = committed.iter().find(|(n, _)| *n == row.system) else {
+                failures.push(format!(
+                    "{}: missing from committed perf record (run `perf all --write`)",
+                    row.system
+                ));
+                continue;
+            };
+            let base_f = *base as f64;
+            let drift = if *base == 0 {
+                if row.meter_units == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                100.0 * (row.meter_units as f64 - base_f).abs() / base_f
+            };
+            if drift > DRIFT_TOLERANCE_PCT {
+                failures.push(format!(
+                    "{}: meter_units {} vs committed {} ({:+.1}% > {:.0}% tolerance)",
+                    row.system,
+                    row.meter_units,
+                    base,
+                    100.0 * (row.meter_units as f64 - base_f) / base_f,
+                    DRIFT_TOLERANCE_PCT
+                ));
+            }
+        }
+        failures
+    }
+}
+
 pub mod alloc_suite;
 pub mod diagdemo;

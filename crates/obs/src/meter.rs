@@ -37,9 +37,23 @@ pub enum Counter {
     Instantiations,
     /// CNF clauses emitted by the bit-vector bit-blaster.
     BitblastClauses,
+    /// Trigger-match candidates served from the watermark e-matching cache
+    /// instead of being re-enumerated. Informational: never budgeted.
+    EmatchSkipped,
+    /// Theory-registration plans replayed from the persistent kernel cache
+    /// instead of re-traversing atom subterms. Informational: never budgeted.
+    TheoryReuse,
 }
 
-pub const COUNTERS: [Counter; 9] = [
+/// Counters below this index are *budgeted*: they feed [`ResourceMeter::spent`],
+/// rlimit exhaustion, [`MeterSnapshot::total`], and the JSON emitters. Slots at
+/// or above it are informational savings counters — they must never influence
+/// a verdict or a serialized byte, because the incremental kernels that charge
+/// them are exactly the code the determinism contract allows to differ from
+/// the batch path.
+pub const BUDGETED: usize = 9;
+
+pub const COUNTERS: [Counter; 11] = [
     Counter::SatConflicts,
     Counter::SatDecisions,
     Counter::SatPropagations,
@@ -49,6 +63,8 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::EmatchRounds,
     Counter::Instantiations,
     Counter::BitblastClauses,
+    Counter::EmatchSkipped,
+    Counter::TheoryReuse,
 ];
 
 impl Counter {
@@ -63,6 +79,8 @@ impl Counter {
             Counter::EmatchRounds => "ematch-rounds",
             Counter::Instantiations => "instantiations",
             Counter::BitblastClauses => "bitblast-clauses",
+            Counter::EmatchSkipped => "ematch-skipped",
+            Counter::TheoryReuse => "theory-reuse",
         }
     }
 }
@@ -70,7 +88,7 @@ impl Counter {
 /// Shared monotone counters plus an optional budget.
 #[derive(Debug, Default)]
 pub struct ResourceMeter {
-    counters: [AtomicU64; 9],
+    counters: [AtomicU64; 11],
     /// `u64::MAX` means unlimited.
     limit: AtomicU64,
     /// Phase name recorded the first time the budget trips.
@@ -108,9 +126,11 @@ impl ResourceMeter {
         self.counters[c as usize].load(Ordering::Relaxed)
     }
 
-    /// Total units spent across all counters.
+    /// Total units spent across the budgeted counters. Informational
+    /// counters (slots >= [`BUDGETED`]) are deliberately excluded so that
+    /// incremental-kernel savings can never move an rlimit trip point.
     pub fn spent(&self) -> u64 {
-        self.counters
+        self.counters[..BUDGETED]
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
@@ -182,6 +202,8 @@ impl ResourceMeter {
             ematch_rounds: self.get(Counter::EmatchRounds),
             instantiations: self.get(Counter::Instantiations),
             bitblast_clauses: self.get(Counter::BitblastClauses),
+            ematch_skipped: self.get(Counter::EmatchSkipped),
+            theory_reuse: self.get(Counter::TheoryReuse),
         }
     }
 }
@@ -199,9 +221,13 @@ pub struct MeterSnapshot {
     pub ematch_rounds: u64,
     pub instantiations: u64,
     pub bitblast_clauses: u64,
+    pub ematch_skipped: u64,
+    pub theory_reuse: u64,
 }
 
 impl MeterSnapshot {
+    /// Sum of the *budgeted* counters only — the quantity `rlimit` budgets
+    /// against and reports serialize. Informational counters are excluded.
     pub fn total(&self) -> u64 {
         self.sat_conflicts
             + self.sat_decisions
@@ -225,6 +251,8 @@ impl MeterSnapshot {
             Counter::EmatchRounds => self.ematch_rounds,
             Counter::Instantiations => self.instantiations,
             Counter::BitblastClauses => self.bitblast_clauses,
+            Counter::EmatchSkipped => self.ematch_skipped,
+            Counter::TheoryReuse => self.theory_reuse,
         }
     }
 
@@ -241,6 +269,8 @@ impl MeterSnapshot {
             ematch_rounds: self.ematch_rounds + other.ematch_rounds,
             instantiations: self.instantiations + other.instantiations,
             bitblast_clauses: self.bitblast_clauses + other.bitblast_clauses,
+            ematch_skipped: self.ematch_skipped + other.ematch_skipped,
+            theory_reuse: self.theory_reuse + other.theory_reuse,
         }
     }
 
@@ -259,10 +289,13 @@ impl MeterSnapshot {
         out
     }
 
+    /// JSON over the *budgeted* counters plus their total. Informational
+    /// counters are excluded on purpose: profile/explain JSON must be
+    /// byte-identical between the incremental and batch kernel paths.
     pub fn to_json(&self) -> String {
         let mut fields: Vec<String> = Vec::new();
-        for c in COUNTERS {
-            fields.push(format!("\"{}\":{}", c.name(), self.get(c)));
+        for c in &COUNTERS[..BUDGETED] {
+            fields.push(format!("\"{}\":{}", c.name(), self.get(*c)));
         }
         fields.push(format!("\"total\":{}", self.total()));
         format!("{{{}}}", fields.join(","))
@@ -313,6 +346,32 @@ mod tests {
         assert_eq!(m.snapshot().sat_propagations, 7);
         m.charge(Counter::SatConflicts, 2);
         assert!(m.check("sat"), "pre-charged units count against the budget");
+    }
+
+    #[test]
+    fn informational_counters_never_budget_or_serialize() {
+        let m = ResourceMeter::with_limit(Some(5));
+        m.charge(Counter::EmatchSkipped, 100);
+        m.charge(Counter::TheoryReuse, 100);
+        assert_eq!(m.spent(), 0, "savings counters are not budgeted");
+        assert!(!m.check("ematch"));
+        m.charge(Counter::SatConflicts, 6);
+        assert!(m.check("sat"));
+        let s = m.snapshot();
+        assert_eq!(s.ematch_skipped, 100);
+        assert_eq!(s.theory_reuse, 100);
+        assert_eq!(s.total(), 6, "total() covers budgeted counters only");
+        let json = s.to_json();
+        assert!(!json.contains("ematch-skipped"));
+        assert!(!json.contains("theory-reuse"));
+        assert!(s.render().contains("ematch-skipped"));
+        let roundtrip = ResourceMeter::new();
+        roundtrip.precharge(&s);
+        assert_eq!(
+            roundtrip.snapshot(),
+            s,
+            "precharge carries informational counters too"
+        );
     }
 
     #[test]

@@ -88,16 +88,15 @@ impl Euf {
     /// per leaf and empty children.
     pub fn add_node(&mut self, tag: u64, children: Vec<NodeId>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            tag,
-            children: children.clone(),
-        });
+        let nkids = children.len();
+        self.nodes.push(Node { tag, children });
         self.uf.push(id);
         self.rank.push(0);
         self.pf_parent.push(None);
         self.use_list.push(Vec::new());
-        if !children.is_empty() {
-            for &c in &children {
+        if nkids > 0 {
+            for i in 0..nkids {
+                let c = self.nodes[id.0 as usize].children[i];
                 let rc = self.find(c);
                 self.use_list[rc.0 as usize].push(id);
             }
@@ -119,8 +118,14 @@ impl Euf {
     }
 
     fn signature(&mut self, n: NodeId) -> (u64, Vec<NodeId>) {
-        let children = self.nodes[n.0 as usize].children.clone();
-        let roots = children.iter().map(|&c| self.find(c)).collect();
+        // Index loop instead of cloning the child vector: signatures are
+        // recomputed on every merge re-hash, so this runs hot.
+        let nkids = self.nodes[n.0 as usize].children.len();
+        let mut roots = Vec::with_capacity(nkids);
+        for i in 0..nkids {
+            let c = self.nodes[n.0 as usize].children[i];
+            roots.push(self.find(c));
+        }
         (self.nodes[n.0 as usize].tag, roots)
     }
 
@@ -260,9 +265,10 @@ impl Euf {
                     match reason {
                         Some(Reason::Literal(l)) => out.push(l),
                         Some(Reason::Congruence(u, v)) => {
-                            let cu = self.nodes[u.0 as usize].children.clone();
-                            let cv = self.nodes[v.0 as usize].children.clone();
-                            for (cx, cy) in cu.into_iter().zip(cv) {
+                            let len = self.nodes[u.0 as usize].children.len();
+                            for i in 0..len {
+                                let cx = self.nodes[u.0 as usize].children[i];
+                                let cy = self.nodes[v.0 as usize].children[i];
                                 queue.push((cx, cy));
                             }
                         }

@@ -5,7 +5,7 @@
 //! possible, better scaling) and [`TriggerPolicy::Broad`] (Dafny-style —
 //! every candidate subterm, more instantiations, more solver work).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::term::{Quant, SortId, TermId, TermKind, TermStore};
 
@@ -22,6 +22,16 @@ pub enum TriggerPolicy {
 /// matchable shapes) that mention at least one bound variable and are not
 /// themselves a bare bound variable.
 fn candidates(store: &TermStore, body: TermId, out: &mut Vec<TermId>) {
+    let mut seen: HashSet<TermId> = HashSet::new();
+    candidates_rec(store, body, out, &mut seen);
+}
+
+fn candidates_rec(
+    store: &TermStore,
+    body: TermId,
+    out: &mut Vec<TermId>,
+    seen: &mut HashSet<TermId>,
+) {
     let matchable = matches!(
         store.kind(body),
         TermKind::App(..)
@@ -31,22 +41,27 @@ fn candidates(store: &TermStore, body: TermId, out: &mut Vec<TermId>) {
             | TermKind::IntDiv(..)
             | TermKind::IntMod(..)
     );
-    if matchable && store.has_bound_var(body) && !out.contains(&body) {
+    if matchable && store.has_bound_var(body) && seen.insert(body) {
         out.push(body);
     }
     for c in store.children(body) {
-        candidates(store, c, out);
+        candidates_rec(store, c, out, seen);
     }
 }
 
 fn bound_vars_of(store: &TermStore, t: TermId, acc: &mut Vec<u32>) {
+    let mut seen: HashSet<u32> = acc.iter().copied().collect();
+    bound_vars_rec(store, t, acc, &mut seen);
+}
+
+fn bound_vars_rec(store: &TermStore, t: TermId, acc: &mut Vec<u32>, seen: &mut HashSet<u32>) {
     if let TermKind::Bound(bv) = store.kind(t) {
-        if !acc.contains(&bv.index) {
+        if seen.insert(bv.index) {
             acc.push(bv.index);
         }
     }
     for c in store.children(t) {
-        bound_vars_of(store, c, acc);
+        bound_vars_rec(store, c, acc, seen);
     }
 }
 
@@ -181,6 +196,15 @@ fn cover_greedy(
 pub struct ClassIndex {
     parent: HashMap<TermId, TermId>,
     members: HashMap<TermId, Vec<TermId>>,
+    /// Consultation probe: set by [`ClassIndex::find`] (and hence
+    /// [`ClassIndex::members_of`]) since the last [`ClassIndex::reset_probe`].
+    /// The watermark e-matcher brackets each trigger-group computation with
+    /// reset/read — a group whose matches were decided without ever touching
+    /// the partition (every bucket term matched syntactically on the first
+    /// try: the common `f(x, y)` trigger shape) is a pure function of the
+    /// term store and its ground buckets, so its cached bindings stay valid
+    /// across class merges.
+    probed: std::cell::Cell<bool>,
 }
 
 impl ClassIndex {
@@ -189,6 +213,7 @@ impl ClassIndex {
     }
 
     pub fn find(&self, mut t: TermId) -> TermId {
+        self.probed.set(true);
         while let Some(&p) = self.parent.get(&t) {
             if p == t {
                 break;
@@ -196,6 +221,17 @@ impl ClassIndex {
             t = p;
         }
         t
+    }
+
+    /// Clear the consultation probe (see the field doc).
+    pub fn reset_probe(&self) {
+        self.probed.set(false);
+    }
+
+    /// Whether [`ClassIndex::find`] ran since the last
+    /// [`ClassIndex::reset_probe`].
+    pub fn probed(&self) -> bool {
+        self.probed.get()
     }
 
     pub fn union(&mut self, a: TermId, b: TermId) {
@@ -361,6 +397,104 @@ pub fn pattern_head(store: &TermStore, t: TermId) -> Option<PatternHead> {
     }
 }
 
+/// One pattern step of the per-group fold: extend every binding in
+/// `partial` against every term in `grounds`, appending successes to
+/// `next`, with exactly the per-element limit discipline of the original
+/// batch enumerator (the count is checked after *every* ground term, match
+/// or not). Returns `true` when the limit break fired.
+///
+/// `next` may arrive non-empty: the watermark e-matcher seeds it with the
+/// raw bindings cached from the previous round and passes only the ground
+/// terms beyond its high-water mark, which reproduces the batch fold's
+/// state at that point byte for byte (the cached prefix is exactly what
+/// the batch fold would have accumulated over `grounds[..wm]`).
+pub fn match_step(
+    store: &TermStore,
+    classes: &ClassIndex,
+    pat: TermId,
+    partial: &[Vec<(u32, TermId)>],
+    grounds: &[TermId],
+    limit: usize,
+    next: &mut Vec<Vec<(u32, TermId)>>,
+) -> bool {
+    for binding in partial {
+        for &g in grounds {
+            let mut b = binding.clone();
+            if match_pattern(store, classes, pat, g, &mut b) {
+                next.push(b);
+            }
+            if next.len() > limit {
+                return true;
+            }
+        }
+        if next.len() > limit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Raw (pre-assembly) bindings for one trigger group: the inner fold of
+/// the batch enumerator, factored out so the solver's watermark e-matcher
+/// can recompute a single group. A pattern with no matchable head or an
+/// empty ground bucket yields no bindings, exactly as in the batch path.
+pub fn match_group(
+    store: &TermStore,
+    classes: &ClassIndex,
+    group: &[TermId],
+    ground_index: &HashMap<PatternHead, Vec<TermId>>,
+    limit: usize,
+) -> Vec<Vec<(u32, TermId)>> {
+    let mut partial: Vec<Vec<(u32, TermId)>> = vec![vec![]];
+    for &pat in group {
+        let head = match pattern_head(store, pat) {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        let grounds = match ground_index.get(&head) {
+            Some(g) => g,
+            None => return Vec::new(),
+        };
+        let mut next = Vec::new();
+        match_step(store, classes, pat, &partial, grounds, limit, &mut next);
+        partial = next;
+        if partial.is_empty() {
+            return partial;
+        }
+    }
+    partial
+}
+
+/// Assembly tail for one group's raw bindings: completeness filter,
+/// canonicalization (sort by var index, drop extras), dedup against `out`,
+/// and the global limit check after every element. Returns `true` when the
+/// global limit fired and enumeration must stop mid-group.
+pub fn assemble_group(
+    quant: &Quant,
+    raw: Vec<Vec<(u32, TermId)>>,
+    out: &mut Vec<Vec<(u32, TermId)>>,
+    limit: usize,
+) -> bool {
+    for mut b in raw {
+        // Only keep complete bindings.
+        if quant
+            .vars
+            .iter()
+            .all(|&(i, _)| b.iter().any(|&(j, _)| j == i))
+        {
+            b.sort_by_key(|&(i, _)| i);
+            b.retain(|&(i, _)| quant.vars.iter().any(|&(qi, _)| qi == i));
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        if out.len() > limit {
+            return true;
+        }
+    }
+    false
+}
+
 /// Enumerate all complete bindings of `quant` against the ground term index.
 /// `ground_index` maps pattern heads to ground terms with that head.
 pub fn enumerate_matches(
@@ -372,58 +506,9 @@ pub fn enumerate_matches(
 ) -> Vec<Vec<(u32, TermId)>> {
     let mut out: Vec<Vec<(u32, TermId)>> = Vec::new();
     for group in &quant.triggers {
-        let mut partial: Vec<Vec<(u32, TermId)>> = vec![vec![]];
-        for &pat in group {
-            let head = match pattern_head(store, pat) {
-                Some(h) => h,
-                None => {
-                    partial.clear();
-                    break;
-                }
-            };
-            let grounds = match ground_index.get(&head) {
-                Some(g) => g,
-                None => {
-                    partial.clear();
-                    break;
-                }
-            };
-            let mut next = Vec::new();
-            for binding in &partial {
-                for &g in grounds {
-                    let mut b = binding.clone();
-                    if match_pattern(store, classes, pat, g, &mut b) {
-                        next.push(b);
-                    }
-                    if next.len() > limit {
-                        break;
-                    }
-                }
-                if next.len() > limit {
-                    break;
-                }
-            }
-            partial = next;
-            if partial.is_empty() {
-                break;
-            }
-        }
-        for mut b in partial {
-            // Only keep complete bindings.
-            if quant
-                .vars
-                .iter()
-                .all(|&(i, _)| b.iter().any(|&(j, _)| j == i))
-            {
-                b.sort_by_key(|&(i, _)| i);
-                b.retain(|&(i, _)| quant.vars.iter().any(|&(qi, _)| qi == i));
-                if !out.contains(&b) {
-                    out.push(b);
-                }
-            }
-            if out.len() > limit {
-                return out;
-            }
+        let raw = match_group(store, classes, group, ground_index, limit);
+        if assemble_group(quant, raw, &mut out, limit) {
+            return out;
         }
     }
     out

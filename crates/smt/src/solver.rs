@@ -18,7 +18,8 @@ use veris_obs::{Counter, QuantProfile, ResourceMeter};
 use crate::euf::{Euf, NodeId};
 use crate::lia::{LVar, Lia, LiaOutcome};
 use crate::quant::{
-    enumerate_matches, infer_triggers, pattern_head, ClassIndex, PatternHead, TriggerPolicy,
+    assemble_group, enumerate_matches, infer_triggers, match_group, match_step, pattern_head,
+    ClassIndex, PatternHead, TriggerPolicy,
 };
 use crate::sat::{FinalCheck, LBool, Lit, SatLimits, SatResult, SatSolver};
 use crate::term::{Quant, Sort, SortId, StoreMark, TermId, TermKind, TermStore};
@@ -26,6 +27,99 @@ use crate::term::{Quant, Sort, SortId, StoreMark, TermId, TermKind, TermStore};
 /// An instantiation staged by an e-matching round: (quantifier proxy
 /// literal, quantifier term, variable binding, instantiated body).
 type PendingInstance = (Lit, TermId, Vec<(u32, TermId)>, TermId);
+
+/// Per-quantifier instantiation dedup: a fingerprint fast-path over the
+/// exact binding set, so the common already-seen candidate is rejected
+/// without cloning the binding vector (the clone now happens only for
+/// genuinely new instances, which need it anyway).
+#[derive(Clone, Default)]
+struct QuantInstances {
+    fps: HashSet<u64>,
+    exact: HashSet<Vec<(u32, TermId)>>,
+}
+
+/// FNV-1a over the (var, term) stream. A collision only costs a fall-through
+/// to the exact set, never a wrong dedup verdict.
+fn binding_fingerprint(b: &[(u32, TermId)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(i, t) in b {
+        for w in [i as u64, t.0 as u64] {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Cached e-matching state for one trigger group of one quantifier.
+struct GroupCache {
+    /// Per-pattern (head, high-water mark into that head's ground bucket).
+    /// A `None` head (whole-body fallback trigger) can never match, so the
+    /// group permanently yields no raw bindings — exactly `match_group`'s
+    /// bail-out.
+    pats: Vec<(Option<PatternHead>, usize)>,
+    /// Raw (pre-assembly) bindings, as `match_group` would produce them
+    /// over the watermarked prefix of each bucket.
+    raw: Vec<Vec<(u32, TermId)>>,
+    /// Whether the last (re)computation of `raw` consulted the class
+    /// partition at all ([`ClassIndex`]'s consultation probe). Groups whose
+    /// matching was decided purely syntactically — every bucket term matched
+    /// on the first try, no repeated-variable class check, no class-member
+    /// fallback — are pure functions of the term store and their buckets,
+    /// so their cache survives class merges. The flag always describes the
+    /// current `raw` contents (empty bindings are vacuously independent),
+    /// so delta extensions OR in the probe rather than overwrite it.
+    partition_dependent: bool,
+}
+
+/// Per-quantifier watermark cache. Partition-dependent groups are valid
+/// only while the class index is unchanged (the solver resets them the
+/// moment the partition moves); partition-independent groups survive.
+struct QuantEmatch {
+    groups: Vec<GroupCache>,
+}
+
+/// Persistent e-matching state. The class index survives across rounds and
+/// is advanced by the *suffix* of newly-true equality atoms; per-quantifier
+/// raw bindings survive until their ground buckets grow, and across class
+/// merges too when the consultation probe proved them partition-independent.
+/// Reset wholesale on [`Solver::pop`] (term ids above the mark are reused),
+/// which also keeps module-session info counters identical to a fresh
+/// solver's.
+#[derive(Default)]
+struct EmatchState {
+    classes: ClassIndex,
+    /// Equality pairs (in atom order) the class index was built from.
+    eq_pairs: Vec<(TermId, TermId)>,
+    quants: HashMap<TermId, QuantEmatch>,
+}
+
+/// Value-independent per-atom kernels cached across final checks: the
+/// flattened subterm-registration plan, the dispatch shape, and the linear
+/// decomposition rows. All three are pure functions of the term store, so
+/// replaying them against a fresh `TheoryCtx` reproduces the batch
+/// computation — same nodes, same order, same meter charges — while
+/// skipping the per-check DAG re-traversal and `TermKind` clones.
+#[derive(Default)]
+struct TheoryKernelCache {
+    reg: HashMap<TermId, Vec<TermId>>,
+    dispatch: HashMap<TermId, AtomDispatch>,
+    decomp: HashMap<TermId, (i128, Vec<(i128, TermId)>)>,
+}
+
+/// How `theory_final_check` routes one atom (pure function of its kind).
+#[derive(Clone, Copy)]
+enum AtomDispatch {
+    Eq {
+        a: TermId,
+        b: TermId,
+        int: bool,
+    },
+    Le0(TermId),
+    /// Boolean-sorted application / datatype tester: merge with TRUE/FALSE.
+    BoolMerge,
+    Skip,
+}
 
 /// Solver configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +142,12 @@ pub struct Config {
     /// unfolding so rounds converge.
     pub max_generation: u32,
     pub timeout: Option<Duration>,
+    /// Escape hatch: rebuild the e-matching class index and the theory
+    /// context registration from scratch on every round / final check (the
+    /// pre-incremental kernels). Verdicts, cores, and explain/profile bytes
+    /// are identical either way — the kernel-parity test enforces it — but
+    /// the batch path redoes work the incremental path skips.
+    pub batch_kernels: bool,
 }
 
 impl Default for Config {
@@ -61,6 +161,7 @@ impl Default for Config {
             trigger_policy: TriggerPolicy::Minimal,
             max_generation: 4,
             timeout: Some(Duration::from_secs(60)),
+            batch_kernels: false,
         }
     }
 }
@@ -126,8 +227,8 @@ pub struct Solver {
     ground_index: HashMap<PatternHead, Vec<TermId>>,
     /// Ground terms by sort (EPR universe).
     ground_by_sort: HashMap<SortId, Vec<TermId>>,
-    /// Seen instantiations: (quant term, binding).
-    instances: HashSet<(TermId, Vec<(u32, TermId)>)>,
+    /// Seen instantiations per quantifier, with a fingerprint fast-path.
+    instances: HashMap<TermId, QuantInstances>,
     /// Shared-argument equality atoms already materialized (theory
     /// combination).
     combo_splits: HashSet<(TermId, TermId)>,
@@ -165,6 +266,12 @@ pub struct Solver {
     profile: QuantProfile,
     /// Open assertion frames (see [`Solver::push`]).
     frames: Vec<SolverFrame>,
+    /// `VERIS_DEBUG_INST`, read once at construction.
+    debug_inst: bool,
+    /// Persistent watermark e-matching state (reset on [`Solver::pop`]).
+    ematch: EmatchState,
+    /// Persistent theory-kernel plans (reset on [`Solver::pop`]).
+    theory_cache: TheoryKernelCache,
 }
 
 /// Snapshot of the formula-layer state for [`Solver::push`]/[`Solver::pop`].
@@ -185,7 +292,7 @@ struct SolverFrame {
     registered: HashSet<TermId>,
     ground_index: HashMap<PatternHead, Vec<TermId>>,
     ground_by_sort: HashMap<SortId, Vec<TermId>>,
-    instances: HashSet<(TermId, Vec<(u32, TermId)>)>,
+    instances: HashMap<TermId, QuantInstances>,
     combo_splits: HashSet<(TermId, TermId)>,
     term_gen: HashMap<TermId, u32>,
     divmod_done: HashSet<TermId>,
@@ -219,7 +326,7 @@ impl Solver {
             registered: HashSet::new(),
             ground_index: HashMap::new(),
             ground_by_sort: HashMap::new(),
-            instances: HashSet::new(),
+            instances: HashMap::new(),
             combo_splits: HashSet::new(),
             term_gen: HashMap::new(),
             queue: Vec::new(),
@@ -235,6 +342,9 @@ impl Solver {
             meter: None,
             profile: QuantProfile::new(),
             frames: Vec::new(),
+            debug_inst: std::env::var("VERIS_DEBUG_INST").is_ok(),
+            ematch: EmatchState::default(),
+            theory_cache: TheoryKernelCache::default(),
         }
     }
 
@@ -304,6 +414,12 @@ impl Solver {
         self.stats = f.stats;
         self.profile = f.profile;
         self.queue.clear();
+        // Kernel caches reference term ids the truncation just freed for
+        // reuse — drop them wholesale. A fresh solver also starts every
+        // check with empty caches, so reuse counters replay identically in
+        // module sessions.
+        self.ematch = EmatchState::default();
+        self.theory_cache = TheoryKernelCache::default();
     }
 
     /// Number of open assertion frames.
@@ -824,6 +940,8 @@ impl Solver {
                 let stats = &mut self.stats;
                 let sat = &mut self.sat;
                 let meter = self.meter.clone();
+                let theory_cache = &mut self.theory_cache;
+                let batch = self.config.batch_kernels;
                 let mut limits = self.config.sat_limits;
                 limits.deadline = deadline;
                 sat.solve_with_assumptions(limits, &assumptions, |satref| {
@@ -835,6 +953,8 @@ impl Solver {
                         lia_budget,
                         axiom_lit,
                         meter.as_ref(),
+                        theory_cache,
+                        batch,
                     ) {
                         TheoryVerdict::Consistent(model) => {
                             last_model = Some(model);
@@ -946,18 +1066,30 @@ impl Solver {
             m.charge(Counter::EmatchRounds, 1);
         }
         // Equivalence classes from equality atoms true in the current model:
-        // matching happens modulo these (poor man's e-graph).
-        let mut classes = ClassIndex::new();
-        for &(t, lit) in &self.atoms {
-            if self.sat.value(lit) == LBool::True {
-                if let TermKind::Eq(a, b) = self.store.kind(t) {
-                    classes.union(*a, *b);
+        // matching happens modulo these (poor man's e-graph). The batch path
+        // rebuilds them from every true equality each round; the incremental
+        // path advances a persistent index by the newly-true suffix.
+        let batch = self.config.batch_kernels || self.config.epr_mode;
+        let mut state = if batch {
+            EmatchState::default()
+        } else {
+            std::mem::take(&mut self.ematch)
+        };
+        if batch {
+            for &(t, lit) in &self.atoms {
+                if self.sat.value(lit) == LBool::True {
+                    if let TermKind::Eq(a, b) = self.store.kind(t) {
+                        state.classes.union(*a, *b);
+                    }
                 }
             }
+        } else {
+            self.advance_classes(&mut state);
         }
+        let limit = self.config.max_instances_per_round;
         let mut new_instances: Vec<PendingInstance> = Vec::new();
-        let quants = self.quants.clone();
-        for (qterm, proxy) in quants {
+        for qi in 0..self.quants.len() {
+            let (qterm, proxy) = self.quants[qi];
             if self.sat.value(proxy) != LBool::True {
                 continue;
             }
@@ -967,14 +1099,10 @@ impl Solver {
             };
             let bindings = if self.config.epr_mode {
                 self.epr_bindings(&q)
+            } else if batch {
+                enumerate_matches(&self.store, &state.classes, &q, &self.ground_index, limit)
             } else {
-                enumerate_matches(
-                    &self.store,
-                    &classes,
-                    &q,
-                    &self.ground_index,
-                    self.config.max_instances_per_round,
-                )
+                self.watermark_matches(&state.classes, &mut state.quants, qterm, &q, limit)
             };
             let qname = self.store.sym_name(q.qid).to_owned();
             self.profile.record(&qname, 0, bindings.len() as u64, 0);
@@ -989,20 +1117,27 @@ impl Solver {
                 if bgen >= self.config.max_generation {
                     continue;
                 }
-                let key = (qterm, b.clone());
-                if self.instances.contains(&key) {
-                    continue;
+                {
+                    let qinst = self.instances.entry(qterm).or_default();
+                    let fp = binding_fingerprint(&b);
+                    if qinst.fps.contains(&fp) && qinst.exact.contains(b.as_slice()) {
+                        continue;
+                    }
+                    qinst.fps.insert(fp);
+                    qinst.exact.insert(b.clone());
                 }
-                self.instances.insert(key);
                 let inst = self.store.substitute(q.body, &b);
                 new_instances.push((proxy, qterm, b, inst));
-                if new_instances.len() >= self.config.max_instances_per_round {
+                if new_instances.len() >= limit {
                     break;
                 }
             }
         }
+        if !batch {
+            self.ematch = state;
+        }
         let n = new_instances.len();
-        if std::env::var("VERIS_DEBUG_INST").is_ok() {
+        if self.debug_inst {
             for (_, q, b, _) in &new_instances {
                 if let TermKind::Quantifier(qd) = self.store.kind(*q) {
                     eprintln!(
@@ -1042,6 +1177,181 @@ impl Solver {
         n
     }
 
+    /// Advance the persistent class index by the suffix of newly-true
+    /// equality atoms. Pairs are collected in atom order, so when the
+    /// previous round's list is a prefix of this round's, replaying only
+    /// the suffix leaves the index byte-identical to a fresh build over the
+    /// full list (same union sequence ⇒ same parent links and member
+    /// order, which matching depends on). Any other change — an equality
+    /// went false under the new boolean model — forces a fresh rebuild.
+    /// Whenever the partition actually moved, every *partition-dependent*
+    /// cached binding set is invalidated (matching is modulo these
+    /// classes); groups the consultation probe proved syntactic keep their
+    /// watermarks.
+    fn advance_classes(&self, state: &mut EmatchState) {
+        let mut cur: Vec<(TermId, TermId)> = Vec::new();
+        for &(t, lit) in &self.atoms {
+            if self.sat.value(lit) == LBool::True {
+                if let TermKind::Eq(a, b) = self.store.kind(t) {
+                    cur.push((*a, *b));
+                }
+            }
+        }
+        let is_prefix =
+            cur.len() >= state.eq_pairs.len() && cur[..state.eq_pairs.len()] == state.eq_pairs[..];
+        let mut changed = false;
+        if is_prefix {
+            for &(a, b) in &cur[state.eq_pairs.len()..] {
+                if state.classes.find(a) != state.classes.find(b) {
+                    changed = true;
+                }
+                state.classes.union(a, b);
+            }
+        } else {
+            state.classes = ClassIndex::new();
+            for &(a, b) in &cur {
+                state.classes.union(a, b);
+            }
+            changed = true;
+        }
+        if changed {
+            // Partition moved: reset every cached group whose matches
+            // consulted the old partition (their raw bindings may be stale
+            // in value or order). Partition-independent groups — decided
+            // purely syntactically — keep their watermarks and bindings.
+            for qc in state.quants.values_mut() {
+                for g in &mut qc.groups {
+                    if g.partition_dependent {
+                        g.raw.clear();
+                        g.partition_dependent = false;
+                        for p in &mut g.pats {
+                            p.1 = 0;
+                        }
+                    }
+                }
+            }
+        }
+        state.eq_pairs = cur;
+    }
+
+    /// Watermark e-matching for one quantifier: serve, delta-extend, or
+    /// recompute each trigger group's raw bindings against the ground
+    /// index, then run the batch assembly tail over them. The output is
+    /// value- and order-identical to `enumerate_matches` over the full
+    /// index:
+    ///
+    /// - a group none of whose buckets grew is served from cache (its raw
+    ///   bindings are exactly what the batch fold would recompute);
+    /// - a single-pattern group whose bucket grew is extended over
+    ///   `bucket[wm..]` only, seeding the fold with the cached prefix
+    ///   result — unless its per-group limit already fired inside the old
+    ///   prefix, in which case the batch fold over the grown bucket breaks
+    ///   at the same element and the cache is served frozen;
+    /// - a multi-pattern group whose buckets grew is recomputed in full
+    ///   (cross-product deltas would not preserve binding order).
+    ///
+    /// Work skipped by served/extended groups is charged to the
+    /// informational `ematch-skipped` counter (never budgeted, never
+    /// serialized into profile/explain JSON).
+    fn watermark_matches(
+        &self,
+        classes: &ClassIndex,
+        quants: &mut HashMap<TermId, QuantEmatch>,
+        qterm: TermId,
+        q: &Quant,
+        limit: usize,
+    ) -> Vec<Vec<(u32, TermId)>> {
+        let qc = quants
+            .entry(qterm)
+            .or_insert_with(|| QuantEmatch { groups: Vec::new() });
+        if qc.groups.len() != q.triggers.len() {
+            qc.groups = q
+                .triggers
+                .iter()
+                .map(|group| GroupCache {
+                    pats: group
+                        .iter()
+                        .map(|&p| (pattern_head(&self.store, p), 0usize))
+                        .collect(),
+                    raw: Vec::new(),
+                    partition_dependent: false,
+                })
+                .collect();
+        }
+        let mut skipped: u64 = 0;
+        for (gi, g) in qc.groups.iter_mut().enumerate() {
+            if g.pats.iter().any(|&(h, _)| h.is_none()) {
+                // Unmatchable pattern: the group yields nothing, ever.
+                continue;
+            }
+            let lens: Vec<usize> = g
+                .pats
+                .iter()
+                .map(|&(h, _)| {
+                    self.ground_index
+                        .get(&h.expect("checked above"))
+                        .map_or(0, |b| b.len())
+                })
+                .collect();
+            debug_assert!(
+                g.pats.iter().zip(&lens).all(|(&(_, wm), &len)| len >= wm),
+                "ground buckets never shrink within a frame"
+            );
+            let unchanged = g.pats.iter().zip(&lens).all(|(&(_, wm), &len)| len == wm);
+            if unchanged {
+                skipped += g.pats.iter().map(|&(_, wm)| wm as u64).sum::<u64>();
+                continue;
+            }
+            let group = &q.triggers[gi];
+            if group.len() == 1 {
+                if g.raw.len() > limit {
+                    // Limit fired inside the cached prefix; the batch fold
+                    // over the grown bucket breaks at the same element.
+                    skipped += g.pats[0].1 as u64;
+                    continue;
+                }
+                let head = g.pats[0].0.expect("checked above");
+                let wm = g.pats[0].1;
+                let bucket = self.ground_index.get(&head).expect("len > 0 bucket");
+                skipped += wm as u64;
+                let seed: [Vec<(u32, TermId)>; 1] = [Vec::new()];
+                let mut next = std::mem::take(&mut g.raw);
+                classes.reset_probe();
+                match_step(
+                    &self.store,
+                    classes,
+                    group[0],
+                    &seed,
+                    &bucket[wm..],
+                    limit,
+                    &mut next,
+                );
+                g.partition_dependent |= classes.probed();
+                g.raw = next;
+                g.pats[0].1 = lens[0];
+            } else {
+                classes.reset_probe();
+                g.raw = match_group(&self.store, classes, group, &self.ground_index, limit);
+                g.partition_dependent = classes.probed();
+                for (p, &len) in g.pats.iter_mut().zip(&lens) {
+                    p.1 = len;
+                }
+            }
+        }
+        if skipped > 0 {
+            if let Some(m) = &self.meter {
+                m.charge(Counter::EmatchSkipped, skipped);
+            }
+        }
+        let mut out: Vec<Vec<(u32, TermId)>> = Vec::new();
+        for g in &qc.groups {
+            if assemble_group(q, g.raw.clone(), &mut out, limit) {
+                break;
+            }
+        }
+        out
+    }
+
     /// Theory-combination round: materialize equality atoms between int
     /// arguments of same-symbol applications so LIA-entailed equalities can
     /// reach EUF congruence (the classic shared-term equality propagation;
@@ -1060,8 +1370,9 @@ impl Solver {
             for i in 0..cap {
                 for j in (i + 1)..cap {
                     let (a, b) = (terms[i], terms[j]);
-                    let (ka, kb) = (self.store.kind(a).clone(), self.store.kind(b).clone());
-                    let (args_a, args_b) = match (&ka, &kb) {
+                    // Match on borrowed kinds; clone only the argument
+                    // vectors, and only on the App/App hit.
+                    let (args_a, args_b) = match (self.store.kind(a), self.store.kind(b)) {
                         (TermKind::App(f, x), TermKind::App(g, y)) if f == g => {
                             (x.clone(), y.clone())
                         }
@@ -1550,6 +1861,7 @@ fn tag_leaf(id: u32) -> u64 {
     (1u64 << 40) | id as u64
 }
 
+#[allow(clippy::too_many_arguments)]
 fn theory_final_check(
     store: &TermStore,
     atoms: &[(TermId, Lit)],
@@ -1557,16 +1869,51 @@ fn theory_final_check(
     lia_budget: usize,
     axiom_lit: Lit,
     meter: Option<&Arc<ResourceMeter>>,
+    cache: &mut TheoryKernelCache,
+    batch: bool,
 ) -> TheoryVerdict {
     let mut ctx = TheoryCtx::new(store, axiom_lit, meter);
     let int_sort = store.int_sort();
     let bool_sort = store.bool_sort();
     // Register every non-boolean subterm of every atom in EUF so congruence
-    // reasoning sees terms that occur only under arithmetic atoms.
-    for &(t, _) in atoms {
-        register_subterms(&mut ctx, store, t, bool_sort);
+    // reasoning sees terms that occur only under arithmetic atoms. The
+    // batch path re-walks every atom's DAG on every final check; the
+    // incremental path replays a flattened per-atom plan that creates the
+    // same nodes in the same order (see `reg_plan`). Atoms whose plan was
+    // already compiled charge the informational `theory-reuse` counter.
+    if batch {
+        for &(t, _) in atoms {
+            register_subterms(&mut ctx, store, t, bool_sort);
+        }
+    } else {
+        let mut reused: u64 = 0;
+        for &(t, _) in atoms {
+            match cache.reg.get(&t) {
+                Some(plan) => {
+                    reused += 1;
+                    for &s in plan {
+                        ctx.euf_node(s);
+                    }
+                }
+                None => {
+                    let mut plan = Vec::new();
+                    let mut visited = HashSet::new();
+                    reg_plan(store, t, bool_sort, &mut plan, &mut visited);
+                    for &s in &plan {
+                        ctx.euf_node(s);
+                    }
+                    cache.reg.insert(t, plan);
+                }
+            }
+        }
+        if reused > 0 {
+            if let Some(m) = meter {
+                m.charge(Counter::TheoryReuse, reused);
+            }
+        }
     }
-    // Dispatch asserted atoms.
+    // Dispatch asserted atoms. The routing shape is a pure function of the
+    // atom's kind, cached so repeat final checks skip the kind clone.
     for &(t, lit) in atoms {
         let val = match sat.value(lit) {
             LBool::True => true,
@@ -1574,15 +1921,24 @@ fn theory_final_check(
             LBool::Undef => continue,
         };
         let asserted_lit = if val { lit } else { lit.negate() };
-        match store.kind(t).clone() {
-            TermKind::Eq(a, b) => {
+        let shape = if batch {
+            atom_dispatch(store, t, int_sort, bool_sort)
+        } else if let Some(&s) = cache.dispatch.get(&t) {
+            s
+        } else {
+            let s = atom_dispatch(store, t, int_sort, bool_sort);
+            cache.dispatch.insert(t, s);
+            s
+        };
+        match shape {
+            AtomDispatch::Eq { a, b, int } => {
                 let (na, nb) = (ctx.euf_node(a), ctx.euf_node(b));
                 if val {
                     ctx.euf.assert_eq(na, nb, asserted_lit);
-                    if store.sort_of(a) == int_sort {
+                    if int {
                         // a - b == 0 in LIA.
-                        let (ka, mut combo) = ctx.decompose(a);
-                        let (kb, cb) = ctx.decompose(b);
+                        let (ka, mut combo) = decompose_cached(&mut ctx, cache, batch, a);
+                        let (kb, cb) = decompose_cached(&mut ctx, cache, batch, b);
                         for (c, v) in cb {
                             combo.push((-c, v));
                         }
@@ -1610,8 +1966,8 @@ fn theory_final_check(
                     ctx.euf.assert_neq(na, nb, asserted_lit);
                 }
             }
-            TermKind::Le0(lin) => {
-                let (k, combo) = ctx.decompose(lin);
+            AtomDispatch::Le0(lin) => {
+                let (k, combo) = decompose_cached(&mut ctx, cache, batch, lin);
                 let tag = ctx.tag_for(vec![asserted_lit]);
                 let res = if combo.is_empty() {
                     let holds = k <= 0;
@@ -1632,14 +1988,15 @@ fn theory_final_check(
                     Err(_) => return TheoryVerdict::Unknown,
                 }
             }
-            TermKind::Var(_, s) if s == bool_sort => {}
-            TermKind::App(..) | TermKind::DtTest(..) => {
+            AtomDispatch::BoolMerge => {
                 // Boolean-sorted application / tester: merge with TRUE/FALSE.
+                // Stays a live `euf_node` call — which atoms reach here is
+                // SAT-value-dependent, so registration cannot be planned.
                 let n = ctx.euf_node(t);
                 let target = if val { ctx.true_node } else { ctx.false_node };
                 ctx.euf.assert_eq(n, target, asserted_lit);
             }
-            _ => {}
+            AtomDispatch::Skip => {}
         }
     }
     // EUF closure.
@@ -1679,8 +2036,8 @@ fn theory_final_check(
                 let rn = ctx.node_of[&rep];
                 let expl = ctx.euf.explain(rn, n);
                 let lits: Vec<Lit> = expl.into_iter().filter(|&l| l != axiom_lit).collect();
-                let (ka, mut combo) = ctx.decompose(rep);
-                let (kb, cb) = ctx.decompose(t);
+                let (ka, mut combo) = decompose_cached(&mut ctx, cache, batch, rep);
+                let (kb, cb) = decompose_cached(&mut ctx, cache, batch, t);
                 for (c, v) in cb {
                     combo.push((-c, v));
                 }
@@ -1728,6 +2085,83 @@ fn register_subterms(ctx: &mut TheoryCtx<'_>, store: &TermStore, t: TermId, bool
         }
         register_subterms(ctx, store, c, bool_sort);
     }
+}
+
+/// Pure mirror of [`register_subterms`]: the first-occurrence preorder of
+/// non-boolean proper subterms — exactly the sequence of *fresh* `euf_node`
+/// root calls the recursive walk performs (repeat calls were memo no-ops in
+/// the walk and are dropped here; `visited` also prunes re-descent into
+/// shared subtrees, which the walk redoes on every final check). Replaying
+/// the list against a fresh `TheoryCtx` creates the same EUF nodes, dense
+/// tags, and axiom assertions in the same order.
+fn reg_plan(
+    store: &TermStore,
+    t: TermId,
+    bool_sort: SortId,
+    out: &mut Vec<TermId>,
+    visited: &mut HashSet<TermId>,
+) {
+    for c in store.children(t) {
+        if visited.insert(c) {
+            if store.sort_of(c) != bool_sort {
+                out.push(c);
+            }
+            reg_plan(store, c, bool_sort, out, visited);
+        }
+    }
+}
+
+/// Pure dispatch shape of one theory atom (see [`AtomDispatch`]).
+fn atom_dispatch(
+    store: &TermStore,
+    t: TermId,
+    int_sort: SortId,
+    bool_sort: SortId,
+) -> AtomDispatch {
+    match store.kind(t) {
+        TermKind::Eq(a, b) => AtomDispatch::Eq {
+            a: *a,
+            b: *b,
+            int: store.sort_of(*a) == int_sort,
+        },
+        TermKind::Le0(lin) => AtomDispatch::Le0(*lin),
+        TermKind::Var(_, s) if *s == bool_sort => AtomDispatch::Skip,
+        TermKind::App(..) | TermKind::DtTest(..) => AtomDispatch::BoolMerge,
+        _ => AtomDispatch::Skip,
+    }
+}
+
+/// Pure decomposition of an int term into (constant, coefficient rows over
+/// term ids). [`TheoryCtx::decompose`] is this followed by LIA-variable
+/// interning.
+fn decomp_rows(store: &TermStore, t: TermId) -> (i128, Vec<(i128, TermId)>) {
+    match store.kind(t) {
+        TermKind::IntConst(k) => (*k, vec![]),
+        TermKind::Linear { konst, monomials } => (*konst, monomials.clone()),
+        _ => (0, vec![(1, t)]),
+    }
+}
+
+/// [`TheoryCtx::decompose`] with the kind-derived rows memoized across
+/// final checks. LIA variables are interned in row order, matching the
+/// uncached path's allocation order exactly.
+fn decompose_cached(
+    ctx: &mut TheoryCtx<'_>,
+    cache: &mut TheoryKernelCache,
+    batch: bool,
+    t: TermId,
+) -> (i128, Vec<(i128, LVar)>) {
+    if batch {
+        return ctx.decompose(t);
+    }
+    if let Some((k, rows)) = cache.decomp.get(&t) {
+        let combo = rows.iter().map(|&(c, a)| (c, ctx.lvar(a))).collect();
+        return (*k, combo);
+    }
+    let (k, rows) = decomp_rows(ctx.store, t);
+    let combo = rows.iter().map(|&(c, a)| (c, ctx.lvar(a))).collect();
+    cache.decomp.insert(t, (k, rows));
+    (k, combo)
 }
 
 fn conflict_from_tags(ctx: &TheoryCtx<'_>, tags: Vec<u32>) -> TheoryVerdict {

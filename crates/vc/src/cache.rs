@@ -28,7 +28,11 @@ use crate::wp::WpResult;
 /// input changes; old entries then miss instead of deserializing garbage.
 /// v2: the fingerprint gained the lint component (findings + `allow`
 /// suppressions), and the driver gates on error-severity lints.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// v3: the meter line carries the informational kernel-reuse counters
+/// (`ematch_skipped`, `theory_reuse`), and the fingerprint covers the
+/// `batch_kernels` escape hatch (the two paths charge those counters
+/// differently even though every budgeted field is identical).
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 // ----------------------------------------------------------------------
 // Fingerprinting
@@ -65,7 +69,7 @@ pub fn fingerprint(
 ) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "schema={CACHE_SCHEMA_VERSION};style={:?};rlimit={:?};timeout={:?};epr={};mqr={:?};maxgen={:?};provers={};",
+        "schema={CACHE_SCHEMA_VERSION};style={:?};rlimit={:?};timeout={:?};epr={};mqr={:?};maxgen={:?};provers={};batch={};",
         cfg.style,
         cfg.rlimit,
         cfg.timeout,
@@ -73,6 +77,7 @@ pub fn fingerprint(
         cfg.max_quant_rounds,
         cfg.smt_max_generation,
         cfg.provers.is_some(),
+        cfg.batch_kernels,
     ));
     for m in visible {
         s.push_str(&format!("module {}\n{:?}\n", m.name, m));
@@ -158,7 +163,7 @@ pub fn render_entry(rep: &FnReport) -> String {
     ));
     let m = &rep.meter;
     out.push_str(&format!(
-        "meter\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        "meter\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
         m.sat_conflicts,
         m.sat_decisions,
         m.sat_propagations,
@@ -167,7 +172,9 @@ pub fn render_entry(rep: &FnReport) -> String {
         m.branch_splits,
         m.ematch_rounds,
         m.instantiations,
-        m.bitblast_clauses
+        m.bitblast_clauses,
+        m.ematch_skipped,
+        m.theory_reuse
     ));
     for (name, q) in rep.profile.iter() {
         out.push_str(&format!(
@@ -250,7 +257,7 @@ pub fn parse_entry(text: &str) -> Option<FnReport> {
                 rep.hyps_asserted = f[5].parse().ok()?;
                 rep.hyps_used = f[6].parse().ok()?;
             }
-            "meter" if f.len() == 10 => {
+            "meter" if f.len() == 12 => {
                 rep.meter = MeterSnapshot {
                     sat_conflicts: f[1].parse().ok()?,
                     sat_decisions: f[2].parse().ok()?,
@@ -261,6 +268,8 @@ pub fn parse_entry(text: &str) -> Option<FnReport> {
                     ematch_rounds: f[7].parse().ok()?,
                     instantiations: f[8].parse().ok()?,
                     bitblast_clauses: f[9].parse().ok()?,
+                    ematch_skipped: f[10].parse().ok()?,
+                    theory_reuse: f[11].parse().ok()?,
                 };
             }
             "quant" if f.len() == 5 => {

@@ -82,6 +82,11 @@ pub struct VcConfig {
     /// schedule module sessions longest-first across worker threads.
     /// Modules without an entry fall back to their function count.
     pub module_weights: Option<HashMap<String, u64>>,
+    /// Force the solver's pre-incremental batch kernels (rebuild the
+    /// e-matching class index and theory context from scratch every
+    /// round / final check). Escape hatch for the kernel-parity test;
+    /// verdicts and explain/profile bytes are identical either way.
+    pub batch_kernels: bool,
 }
 
 impl Default for VcConfig {
@@ -96,6 +101,7 @@ impl Default for VcConfig {
             rlimit: None,
             cache_dir: None,
             module_weights: None,
+            batch_kernels: false,
         }
     }
 }
@@ -126,6 +132,12 @@ impl VcConfig {
         self
     }
 
+    /// Builder: force the pre-incremental batch solver kernels.
+    pub fn with_batch_kernels(mut self, batch: bool) -> VcConfig {
+        self.batch_kernels = batch;
+        self
+    }
+
     fn smt_config(&self) -> SmtConfig {
         let mut c = SmtConfig {
             trigger_policy: if self.style.broad_triggers() {
@@ -152,6 +164,7 @@ impl VcConfig {
             c.epr_mode = true;
             c.max_quant_rounds = self.max_quant_rounds.unwrap_or(64);
         }
+        c.batch_kernels = self.batch_kernels;
         c
     }
 }
